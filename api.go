@@ -1,0 +1,50 @@
+package datatamer
+
+import (
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/fuse"
+	"repro/internal/ml"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+// Config sizes a pipeline run; see core.Config for field documentation.
+type Config = core.Config
+
+// Tamer is the end-to-end pipeline; see core.Tamer.
+type Tamer = core.Tamer
+
+// Stats is the store statistics of Tables I-II.
+type Stats = store.Stats
+
+// Record is the flat data model shared across the pipeline.
+type Record = record.Record
+
+// Discussed is one row of the Table IV ranking.
+type Discussed = fuse.Discussed
+
+// TypeCount is one row of the Table III aggregation.
+type TypeCount = core.TypeCount
+
+// CVResult is a k-fold cross-validation summary (the Section IV metric).
+type CVResult = ml.CVResult
+
+// EntityType names one of the paper's 15 entity types.
+type EntityType = extract.Type
+
+// New builds a pipeline with the given configuration.
+func New(cfg Config) *Tamer { return core.New(cfg) }
+
+// FormatKV renders a record in the paper's Table V/VI style.
+func FormatKV(r *Record, preferred []string) string { return fuse.FormatKV(r, preferred) }
+
+// TableVIOrder is the attribute order of the paper's Table VI.
+var TableVIOrder = fuse.TableVIOrder
+
+// TableIVShows lists the paper's Table IV top-10 shows in printed order.
+var TableIVShows = extract.TableIVShows
+
+// ClassifierTypes lists the entity types the Section IV classifier is
+// evaluated on.
+var ClassifierTypes = []EntityType{extract.Person, extract.Company, extract.Movie, extract.Facility}

@@ -1,0 +1,45 @@
+// Command dtserver runs the fusion pipeline once and serves it over HTTP:
+//
+//	dtserver -addr :8080 -fragments 2000 -sources 20 -seed 1
+//
+// Endpoints: /stats /types /top?k= /show?name= /find?q= /cheapest?k=
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtserver: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	fragments := flag.Int("fragments", 2000, "web-text fragments to generate")
+	sources := flag.Int("sources", 20, "structured FTABLES sources")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	tm := core.New(core.Config{Fragments: *fragments, FTSources: *sources, Seed: *seed})
+	start := time.Now()
+	if err := tm.Run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
+		time.Since(start).Round(time.Millisecond),
+		tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(tm),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

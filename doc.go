@@ -1,0 +1,32 @@
+// Package datatamer is a from-scratch Go reproduction of "Text and
+// Structured Data Fusion in Data Tamer at Scale" (Gubanov, Stonebraker,
+// Bruckner — ICDE 2014): an end-to-end data curation system that fuses
+// unstructured web text with structured and semi-structured sources.
+//
+// The package is a facade over the internal modules:
+//
+//   - a sharded semi-structured document store with extent accounting and
+//     secondary indexes (internal/store) — the Tables I-II substrate;
+//   - a domain-specific parser extracting typed entities from text
+//     (internal/extract) with flattening into flat records
+//     (internal/flatten);
+//   - bottom-up schema integration with heuristic matchers, thresholds and
+//     alerts (internal/schema, internal/match) — the Figs. 2-3 workflow;
+//   - ML-driven entity consolidation and cleaning (internal/dedup,
+//     internal/ml, internal/clean) — the Section IV classifier;
+//   - expert sourcing for uncertain decisions (internal/expert);
+//   - fusion queries that enrich text results with structured fields
+//     (internal/fuse) — Tables IV-VI.
+//
+// Quickstart:
+//
+//	tamer := datatamer.New(datatamer.Config{Fragments: 2000, Seed: 1})
+//	if err := tamer.Run(); err != nil {
+//		log.Fatal(err)
+//	}
+//	fused := tamer.QueryFused("Matilda")
+//	fmt.Println(datatamer.FormatKV(fused, datatamer.TableVIOrder))
+//
+// Every generator is deterministic given Config.Seed, and the benchmark
+// suite in bench_test.go regenerates each table and figure of the paper.
+package datatamer

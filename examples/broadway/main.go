@@ -1,0 +1,46 @@
+// Broadway walks the paper's full Section V demo: find the most-discussed
+// award-winning shows in web text (Table IV), inspect one from text alone
+// (Table V), then fuse with the Google-Fusion-Tables-style structured
+// sources to plan a night out (Table VI).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	datatamer "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tamer := datatamer.New(datatamer.Config{Fragments: 3000, FTSources: 20, Seed: 1})
+	if err := tamer.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — the user wants a popular award-winning show, so they rank
+	// shows by how heavily the web discusses them.
+	fmt.Println("top 10 most discussed award-winning movies/shows from web text:")
+	top := tamer.TopDiscussed(10)
+	for i, d := range top {
+		fmt.Printf("%2d. %-28s %6d mentions\n", i+1, d.Name, d.Mentions)
+	}
+
+	// Step 2 — they pick Matilda and ask what the web text knows: plenty of
+	// box-office chatter, but no theater, schedule or price.
+	fmt.Println("\nMatilda from web text only:")
+	fmt.Print(datatamer.FormatKV(tamer.QueryWebText("Matilda"), []string{"SHOW_NAME", "TEXT_FEED"}))
+
+	// Step 3 — fusion. The 20 structured Broadway sources were matched into
+	// the global schema, cleaned and consolidated; the same query now
+	// carries everything needed to buy a ticket.
+	fmt.Println("\nMatilda after fusing web text with the structured sources:")
+	fmt.Print(datatamer.FormatKV(tamer.QueryFused("Matilda"), datatamer.TableVIOrder))
+
+	// The pipeline ran these stages to get here (Fig. 1).
+	fmt.Println("\npipeline stages:")
+	for _, s := range tamer.Stages() {
+		fmt.Printf("  %-20s %8d items  %12s\n", s.Stage, s.Items, s.Duration.Round(1000))
+	}
+}

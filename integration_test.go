@@ -1,0 +1,175 @@
+package datatamer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/extract"
+)
+
+var (
+	integOnce sync.Once
+	integTm   *Tamer
+	integErr  error
+)
+
+// integration pipeline at a scale large enough to exercise every module.
+func integPipeline(t *testing.T) *Tamer {
+	t.Helper()
+	integOnce.Do(func() {
+		integTm = New(Config{Fragments: 1500, FTSources: 20, Seed: 42})
+		integErr = integTm.Run()
+	})
+	if integErr != nil {
+		t.Fatal(integErr)
+	}
+	return integTm
+}
+
+// TestEndToEndTableShapes verifies the headline shape of every table in one
+// pipeline run: counts, ratios, rankings, enrichment, and classifier band.
+func TestEndToEndTableShapes(t *testing.T) {
+	tm := integPipeline(t)
+
+	// Table I/II shape: entity count dominates instance count; the entity
+	// namespace carries 8 indexes vs 1; both namespaces span extents.
+	inst, ent := tm.InstanceStats(), tm.EntityStats()
+	if inst.Count != 1500 {
+		t.Errorf("instances = %d", inst.Count)
+	}
+	ratio := float64(ent.Count) / float64(inst.Count)
+	if ratio < 2 || ratio > 20 {
+		t.Errorf("entity/instance ratio = %.1f (paper: ~9.8)", ratio)
+	}
+	if inst.NIndexes != 1 || ent.NIndexes != 8 {
+		t.Errorf("nindexes = %d/%d, want 1/8", inst.NIndexes, ent.NIndexes)
+	}
+
+	// Table III shape: Person and OrgEntity near the top, Movie near the
+	// bottom among frequent types, all 15 types present or nearly so.
+	counts := tm.EntityTypeCounts()
+	rank := map[string]int{}
+	for i, c := range counts {
+		rank[c.Type] = i
+	}
+	if len(counts) < 12 {
+		t.Errorf("only %d types extracted", len(counts))
+	}
+
+	// Table IV: top-listed shows are exactly award winners, ranked.
+	top := tm.TopDiscussed(10)
+	if len(top) < 5 {
+		t.Fatalf("top-discussed = %d rows", len(top))
+	}
+	if !strings.EqualFold(top[0].Name, "The Walking Dead") {
+		t.Errorf("rank 1 = %s", top[0].Name)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Mentions < top[i].Mentions {
+			t.Errorf("ranking not sorted at %d", i)
+		}
+	}
+
+	// Table V -> VI: fusion adds exactly the structured fields.
+	web := tm.QueryWebText("Matilda")
+	fused := tm.QueryFused("Matilda")
+	added := 0
+	for _, f := range fused.Fields() {
+		if !web.Has(f.Name) {
+			added++
+		}
+	}
+	if added < 4 {
+		t.Errorf("fusion added only %d fields", added)
+	}
+	for _, attr := range TableVIOrder {
+		if !fused.Has(attr) {
+			t.Errorf("fused record missing %s", attr)
+		}
+	}
+
+	// Section IV: classifier in the high-precision/recall band on several
+	// entity types.
+	for _, typ := range []EntityType{extract.Person, extract.Company} {
+		res := tm.ClassifierCV(typ, 400)
+		if res.MeanPrecision() < 0.80 || res.MeanRecall() < 0.80 {
+			t.Errorf("%s classifier = %s", typ, res)
+		}
+	}
+}
+
+// TestDeterministicRuns verifies two pipelines with the same seed agree on
+// every reported number.
+func TestDeterministicRuns(t *testing.T) {
+	a := New(Config{Fragments: 200, FTSources: 5, Seed: 9})
+	b := New(Config{Fragments: 200, FTSources: 5, Seed: 9})
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.InstanceStats() != b.InstanceStats() {
+		t.Errorf("instance stats differ: %+v vs %+v", a.InstanceStats(), b.InstanceStats())
+	}
+	if a.EntityStats() != b.EntityStats() {
+		t.Errorf("entity stats differ")
+	}
+	ta, tb := a.TopDiscussed(10), b.TopDiscussed(10)
+	if len(ta) != len(tb) {
+		t.Fatalf("rankings differ in length")
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Errorf("ranking differs at %d: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+	if !a.QueryFused("Matilda").Equal(b.QueryFused("Matilda")) {
+		t.Error("fused records differ")
+	}
+}
+
+// TestScaleGrowth verifies stats grow sensibly with corpus scale (the
+// "at scale" architecture claim at laptop size).
+func TestScaleGrowth(t *testing.T) {
+	small := New(Config{Fragments: 100, FTSources: 3, Seed: 2, ExtentSize: 64 << 10})
+	if err := small.IngestWebText(); err != nil {
+		t.Fatal(err)
+	}
+	large := New(Config{Fragments: 400, FTSources: 3, Seed: 2, ExtentSize: 64 << 10})
+	if err := large.IngestWebText(); err != nil {
+		t.Fatal(err)
+	}
+	ss, ls := small.EntityStats(), large.EntityStats()
+	if ls.Count <= ss.Count {
+		t.Errorf("entity count did not grow: %d vs %d", ls.Count, ss.Count)
+	}
+	if ls.NumExtents < ss.NumExtents {
+		t.Errorf("extents shrank: %d vs %d", ls.NumExtents, ss.NumExtents)
+	}
+	if ls.TotalIndexSize <= ss.TotalIndexSize {
+		t.Errorf("index size did not grow")
+	}
+}
+
+// TestFormatKVFacade exercises the exported formatting helper.
+func TestFormatKVFacade(t *testing.T) {
+	tm := integPipeline(t)
+	out := FormatKV(tm.QueryFused("Matilda"), TableVIOrder)
+	for _, want := range []string{"SHOW_NAME", "THEATER", "TEXT_FEED", "CHEAPEST_PRICE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestTableIVShowsExported sanity-checks the exported demo constants.
+func TestTableIVShowsExported(t *testing.T) {
+	if len(TableIVShows) != 10 {
+		t.Errorf("TableIVShows = %d", len(TableIVShows))
+	}
+	if len(ClassifierTypes) < 3 {
+		t.Errorf("ClassifierTypes = %d", len(ClassifierTypes))
+	}
+}

@@ -1,0 +1,259 @@
+package clean
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestParseMoney(t *testing.T) {
+	cases := []struct {
+		in       string
+		amount   float64
+		currency string
+	}{
+		{"$27", 27, "USD"},
+		{"$ 1,234.50", 1234.50, "USD"},
+		{"€30", 30, "EUR"},
+		{"45 euros", 45, "EUR"},
+		{"£99.99", 99.99, "GBP"},
+		{"12.50 USD", 12.50, "USD"},
+		{"960,998", 960998, ""},
+	}
+	for _, c := range cases {
+		m, err := ParseMoney(c.in)
+		if err != nil {
+			t.Errorf("ParseMoney(%q) error: %v", c.in, err)
+			continue
+		}
+		if m.Amount != c.amount || m.Currency != c.currency {
+			t.Errorf("ParseMoney(%q) = %+v, want %f %s", c.in, m, c.amount, c.currency)
+		}
+	}
+	for _, bad := range []string{"", "abc", "$", "twenty dollars"} {
+		if _, err := ParseMoney(bad); err == nil {
+			t.Errorf("ParseMoney(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	if got := (Money{Amount: 27, Currency: "USD"}).String(); got != "$27.00" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Money{Amount: 30.5, Currency: "EUR"}).String(); got != "€30.50" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Money{Amount: 5}).String(); got != "5.00" {
+		t.Errorf("bare = %q", got)
+	}
+}
+
+func TestNormalizeDate(t *testing.T) {
+	cases := map[string]string{
+		"3/4/2013":        "2013-03-04",
+		"2013-03-04":      "2013-03-04",
+		"Jan 2, 2006":     "2006-01-02",
+		"January 2, 2006": "2006-01-02",
+	}
+	for in, want := range cases {
+		got, err := NormalizeDate(in)
+		if err != nil || got != want {
+			t.Errorf("NormalizeDate(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := NormalizeDate("not a date"); err == nil {
+		t.Error("invalid date should fail")
+	}
+}
+
+func TestNormalizePhone(t *testing.T) {
+	got, err := NormalizePhone("(212) 555-1234")
+	if err != nil || got != "2125551234" {
+		t.Errorf("phone = %q, %v", got, err)
+	}
+	got, err = NormalizePhone("+1 212 555 1234")
+	if err != nil || got != "+12125551234" {
+		t.Errorf("intl phone = %q, %v", got, err)
+	}
+	if _, err := NormalizePhone("12345"); err == nil {
+		t.Error("short phone should fail")
+	}
+}
+
+func TestTitleCaseAndWhitespace(t *testing.T) {
+	if got := TitleCase("the  WALKING dead"); got != "The Walking Dead" {
+		t.Errorf("TitleCase = %q", got)
+	}
+	if got := NormalizeWhitespace("  a \t b\n c "); got != "a b c" {
+		t.Errorf("whitespace = %q", got)
+	}
+}
+
+func TestOutliersMAD(t *testing.T) {
+	values := []float64{27, 29, 30, 28, 31, 500}
+	flags := Outliers(values, 3.5)
+	if !flags[5] {
+		t.Error("500 should be an outlier")
+	}
+	for i := 0; i < 5; i++ {
+		if flags[i] {
+			t.Errorf("value %f wrongly flagged", values[i])
+		}
+	}
+}
+
+func TestOutliersDegenerate(t *testing.T) {
+	if flags := Outliers([]float64{1, 2}, 3.5); flags[0] || flags[1] {
+		t.Error("tiny input should not flag")
+	}
+	same := Outliers([]float64{5, 5, 5, 5}, 3.5)
+	for _, f := range same {
+		if f {
+			t.Error("identical values should not flag")
+		}
+	}
+	// MAD=0 but outlier exists: fallback to mean deviation catches it.
+	flags := Outliers([]float64{5, 5, 5, 5, 5, 5, 100}, 3.5)
+	if !flags[6] {
+		t.Error("fallback should flag 100")
+	}
+}
+
+func TestCurrencyConvert(t *testing.T) {
+	c := CurrencyConvert{From: "EUR", To: "USD", Rate: 1.30}
+	v, err := c.Apply(record.String("€100"))
+	if err != nil || v.Str() != "$130.00" {
+		t.Errorf("convert = %q, %v", v.Str(), err)
+	}
+	// Out-of-scope currency untouched.
+	v, err = c.Apply(record.String("$50"))
+	if err != nil || v.Str() != "$50" {
+		t.Errorf("usd passthrough = %q, %v", v.Str(), err)
+	}
+	if _, err := c.Apply(record.String("garbage")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestDateTransform(t *testing.T) {
+	dt := DateTransform{}
+	v, err := dt.Apply(record.String("3/4/2013"))
+	if err != nil || v.Str() != "2013-03-04" {
+		t.Errorf("date = %q, %v", v.Str(), err)
+	}
+	tv := record.Infer("2013-03-04")
+	v, err = dt.Apply(tv)
+	if err != nil || v.Str() != "2013-03-04" {
+		t.Errorf("time kind = %q, %v", v.Str(), err)
+	}
+}
+
+func TestDictionaryRepair(t *testing.T) {
+	d := DictionaryRepair{Domain: []string{"New York", "Boston", "Chicago"}}
+	v, err := d.Apply(record.String("New Yrok"))
+	if err != nil || v.Str() != "New York" {
+		t.Errorf("repair = %q, %v", v.Str(), err)
+	}
+	// Exact match untouched (keeps original casing).
+	v, _ = d.Apply(record.String("boston"))
+	if v.Str() != "boston" {
+		t.Errorf("canonical value rewritten: %q", v.Str())
+	}
+	// Far value untouched.
+	v, _ = d.Apply(record.String("Tokyo"))
+	if v.Str() != "Tokyo" {
+		t.Errorf("far value rewritten: %q", v.Str())
+	}
+	// Non-string untouched.
+	v, _ = d.Apply(record.Int(5))
+	if v.Kind() != record.KindInt {
+		t.Error("non-string rewritten")
+	}
+}
+
+func TestCleanerApply(t *testing.T) {
+	c := &Cleaner{Rules: []Rule{
+		{Attr: "price", Transform: CurrencyConvert{From: "EUR", To: "USD", Rate: 1.3}},
+		{Attr: "first", Transform: DateTransform{}},
+		{Attr: "city", Transform: DictionaryRepair{Domain: []string{"New York"}}},
+	}}
+	r := record.New()
+	r.Set("price", record.String("€10"))
+	r.Set("first", record.String("3/4/2013"))
+	r.Set("city", record.String("New Yrk"))
+	r.Set("untouched", record.String("x"))
+	rep := c.Apply(r)
+	if rep.Applied != 3 {
+		t.Errorf("applied = %d: %+v", rep.Applied, rep)
+	}
+	if r.GetString("price") != "$13.00" {
+		t.Errorf("price = %q", r.GetString("price"))
+	}
+	if r.GetString("first") != "2013-03-04" {
+		t.Errorf("first = %q", r.GetString("first"))
+	}
+	if r.GetString("city") != "New York" {
+		t.Errorf("city = %q", r.GetString("city"))
+	}
+}
+
+func TestCleanerErrorsCounted(t *testing.T) {
+	c := &Cleaner{Rules: []Rule{{Attr: "price", Transform: CurrencyConvert{From: "EUR", To: "USD", Rate: 1.3}}}}
+	r := record.New()
+	r.Set("price", record.String("call for pricing"))
+	rep := c.Apply(r)
+	if rep.Errors != 1 || rep.Applied != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if r.GetString("price") != "call for pricing" {
+		t.Error("failed transform must leave value intact")
+	}
+}
+
+func TestCleanerApplyAll(t *testing.T) {
+	c := &Cleaner{Rules: []Rule{{Attr: "d", Transform: DateTransform{}}}}
+	var records []*record.Record
+	for _, d := range []string{"1/2/2013", "3/4/2013", "bad"} {
+		r := record.New()
+		r.Set("d", record.String(d))
+		records = append(records, r)
+	}
+	rep := c.ApplyAll(records)
+	if rep.Applied != 2 || rep.Errors != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.ByRule["date-iso"] != 2 {
+		t.Errorf("byrule = %v", rep.ByRule)
+	}
+	names := c.RuleNames()
+	if len(names) != 1 || names[0] != "date-iso" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTransformNames(t *testing.T) {
+	for _, tr := range []Transform{
+		CurrencyConvert{From: "EUR", To: "USD"},
+		DateTransform{},
+		WhitespaceTransform{},
+		DictionaryRepair{},
+	} {
+		if strings.TrimSpace(tr.Name()) == "" {
+			t.Errorf("%T has empty name", tr)
+		}
+	}
+}
+
+func TestWhitespaceTransform(t *testing.T) {
+	w := WhitespaceTransform{}
+	v, _ := w.Apply(record.String("Shubert   225 W. 44th"))
+	if v.Str() != "Shubert 225 W. 44th" {
+		t.Errorf("ws = %q", v.Str())
+	}
+	v, _ = w.Apply(record.Int(3))
+	if v.Kind() != record.KindInt {
+		t.Error("non-string rewritten")
+	}
+}

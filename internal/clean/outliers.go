@@ -1,0 +1,52 @@
+package clean
+
+import (
+	"math"
+	"sort"
+)
+
+// Outliers flags values whose modified z-score (based on the median absolute
+// deviation) exceeds the threshold — robust to the skewed distributions
+// dirty web data produces. A threshold of 3.5 is the standard choice.
+// The returned slice marks each input value.
+func Outliers(values []float64, threshold float64) []bool {
+	out := make([]bool, len(values))
+	if len(values) < 3 {
+		return out
+	}
+	med := median(values)
+	devs := make([]float64, len(values))
+	for i, v := range values {
+		devs[i] = math.Abs(v - med)
+	}
+	mad := median(devs)
+	if mad == 0 {
+		// Fall back to mean absolute deviation to avoid dividing by zero on
+		// heavily-repeated data.
+		var sum float64
+		for _, d := range devs {
+			sum += d
+		}
+		mad = sum / float64(len(devs))
+		if mad == 0 {
+			return out
+		}
+	}
+	for i, v := range values {
+		z := 0.6745 * (v - med) / mad
+		if math.Abs(z) > threshold {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func median(values []float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -1,0 +1,95 @@
+package clean
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// UnitConvert rewrites measurements from one unit to another at a fixed
+// factor — the general form of the paper's transformation example.
+// Values like "3.5 mi", "120 min", "2hr" are recognized; bare numbers are
+// assumed to already be in From units when AssumeBare is set.
+type UnitConvert struct {
+	From, To   string
+	Factor     float64 // To = From * Factor
+	AssumeBare bool
+}
+
+var unitRe = regexp.MustCompile(`^\s*(-?\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$`)
+
+// Name implements Transform.
+func (u UnitConvert) Name() string { return fmt.Sprintf("unit:%s->%s", u.From, u.To) }
+
+// Apply implements Transform.
+func (u UnitConvert) Apply(v record.Value) (record.Value, error) {
+	s := v.Str()
+	m := unitRe.FindStringSubmatch(s)
+	if m == nil {
+		return v, fmt.Errorf("clean: unparseable measurement %q", s)
+	}
+	unit := strings.ToLower(m[2])
+	switch {
+	case unit == strings.ToLower(u.From):
+	case unit == "" && u.AssumeBare:
+	case unit == strings.ToLower(u.To):
+		return v, nil // already converted
+	default:
+		return v, nil // out of scope; leave untouched
+	}
+	f, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return v, fmt.Errorf("clean: measurement amount %q: %v", s, err)
+	}
+	converted := f * u.Factor
+	return record.String(trimFloat(converted) + " " + u.To), nil
+}
+
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// NullStandardize maps the common "missing" spellings (n/a, none, unknown,
+// -, ?) to the null value so downstream consolidation treats them as
+// absent.
+type NullStandardize struct{}
+
+// Name implements Transform.
+func (NullStandardize) Name() string { return "null-standardize" }
+
+var nullSpellings = map[string]bool{
+	"n/a": true, "na": true, "none": true, "null": true, "nil": true,
+	"unknown": true, "-": true, "--": true, "?": true, "tbd": true,
+	"missing": true,
+}
+
+// Apply implements Transform.
+func (NullStandardize) Apply(v record.Value) (record.Value, error) {
+	if v.Kind() != record.KindString {
+		return v, nil
+	}
+	if nullSpellings[strings.ToLower(strings.TrimSpace(v.Str()))] {
+		return record.Null, nil
+	}
+	return v, nil
+}
+
+// CaseFold normalizes string values to simple title case, for display
+// attributes whose sources disagree on casing.
+type CaseFold struct{}
+
+// Name implements Transform.
+func (CaseFold) Name() string { return "title-case" }
+
+// Apply implements Transform.
+func (CaseFold) Apply(v record.Value) (record.Value, error) {
+	if v.Kind() != record.KindString {
+		return v, nil
+	}
+	return record.String(TitleCase(v.Str())), nil
+}

@@ -1,0 +1,81 @@
+package clean
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestUnitConvert(t *testing.T) {
+	u := UnitConvert{From: "mi", To: "km", Factor: 1.609344}
+	v, err := u.Apply(record.String("10 mi"))
+	if err != nil || v.Str() != "16.09 km" {
+		t.Errorf("convert = %q, %v", v.Str(), err)
+	}
+	// Already in target units: untouched.
+	v, err = u.Apply(record.String("5 km"))
+	if err != nil || v.Str() != "5 km" {
+		t.Errorf("already-converted = %q, %v", v.Str(), err)
+	}
+	// Unknown unit: untouched, no error.
+	v, err = u.Apply(record.String("3 furlongs"))
+	if err != nil || v.Str() != "3 furlongs" {
+		t.Errorf("out of scope = %q, %v", v.Str(), err)
+	}
+	// Unparseable errors.
+	if _, err := u.Apply(record.String("about ten miles")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestUnitConvertBare(t *testing.T) {
+	u := UnitConvert{From: "min", To: "hr", Factor: 1.0 / 60, AssumeBare: true}
+	v, err := u.Apply(record.String("120"))
+	if err != nil || v.Str() != "2 hr" {
+		t.Errorf("bare = %q, %v", v.Str(), err)
+	}
+	noBare := UnitConvert{From: "min", To: "hr", Factor: 1.0 / 60}
+	v, _ = noBare.Apply(record.String("120"))
+	if v.Str() != "120" {
+		t.Errorf("bare without AssumeBare rewritten: %q", v.Str())
+	}
+}
+
+func TestNullStandardize(t *testing.T) {
+	n := NullStandardize{}
+	for _, s := range []string{"n/a", "N/A", " none ", "-", "?", "TBD"} {
+		v, err := n.Apply(record.String(s))
+		if err != nil || !v.IsNull() {
+			t.Errorf("NullStandardize(%q) = %v, %v", s, v, err)
+		}
+	}
+	v, _ := n.Apply(record.String("Matilda"))
+	if v.IsNull() {
+		t.Error("real value nulled")
+	}
+	v, _ = n.Apply(record.Int(0))
+	if v.IsNull() {
+		t.Error("non-string nulled")
+	}
+}
+
+func TestCaseFold(t *testing.T) {
+	c := CaseFold{}
+	v, _ := c.Apply(record.String("the WALKING dead"))
+	if v.Str() != "The Walking Dead" {
+		t.Errorf("casefold = %q", v.Str())
+	}
+	v, _ = c.Apply(record.Float(1.5))
+	if v.Kind() != record.KindFloat {
+		t.Error("non-string rewritten")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{2: "2", 2.5: "2.5", 16.094: "16.09", 0: "0"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%f) = %q, want %q", in, got, want)
+		}
+	}
+}

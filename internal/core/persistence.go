@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// Store persistence: checkpoint the two text namespaces to a directory and
+// recover them later — the operational side of the "scalable architecture"
+// (the paper's deployment relied on the storage engine's own durability;
+// ours is part of the reproduction).
+
+// SaveStores writes one snapshot file per shard of both namespaces into
+// dir: instance-<i>.snap and entity-<i>.snap.
+func (t *Tamer) SaveStores(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating snapshot dir: %w", err)
+	}
+	if err := saveSharded(dir, "instance", t.Instances); err != nil {
+		return err
+	}
+	return saveSharded(dir, "entity", t.Entities)
+}
+
+func saveSharded(dir, prefix string, s *store.Sharded) error {
+	for i := 0; i < s.NumShards(); i++ {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.snap", prefix, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: creating %s: %w", path, err)
+		}
+		if err := s.Shard(i).WriteSnapshot(f); err != nil {
+			f.Close()
+			return fmt.Errorf("core: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("core: closing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// LoadStores reads snapshots written by SaveStores into fresh namespaces,
+// rebuilding the standard index sets. The shard count and extent size come
+// from the receiver's configuration and must match the saved layout's
+// shard count.
+func (t *Tamer) LoadStores(dir string) error {
+	inst, err := loadSharded(dir, "instance", "dt.instance", "source_url", t.cfg)
+	if err != nil {
+		return err
+	}
+	ent, err := loadSharded(dir, "entity", "dt.entity", "name", t.cfg)
+	if err != nil {
+		return err
+	}
+	t.Instances = inst
+	t.Entities = ent
+	t.Query.Instances = inst
+	t.Query.Entities = ent
+	t.indexStores()
+	return nil
+}
+
+func loadSharded(dir, prefix, ns, key string, cfg Config) (*store.Sharded, error) {
+	s := store.NewSharded(ns, key, cfg.Shards, cfg.ExtentSize)
+	for i := 0; i < s.NumShards(); i++ {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.snap", prefix, i))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening %s: %w", path, err)
+		}
+		loaded, err := store.ReadSnapshot(f, cfg.ExtentSize)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", path, err)
+		}
+		if err := s.ReplaceShard(i, loaded); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

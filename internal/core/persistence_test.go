@@ -1,0 +1,79 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadStores(t *testing.T) {
+	dir := t.TempDir()
+	tm := New(Config{Fragments: 150, FTSources: 3, Shards: 3, Seed: 4})
+	if err := tm.IngestWebText(); err != nil {
+		t.Fatal(err)
+	}
+	wantInst := tm.InstanceStats()
+	wantEnt := tm.EntityStats()
+	wantTop := tm.TopDiscussed(5)
+
+	if err := tm.SaveStores(dir); err != nil {
+		t.Fatal(err)
+	}
+	// 3 shards per namespace → 6 snapshot files.
+	files, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("snapshot files = %v", files)
+	}
+
+	// Recover into a fresh pipeline.
+	fresh := New(Config{Fragments: 150, FTSources: 3, Shards: 3, Seed: 4})
+	if err := fresh.LoadStores(dir); err != nil {
+		t.Fatal(err)
+	}
+	gotInst := fresh.InstanceStats()
+	gotEnt := fresh.EntityStats()
+	if gotInst.Count != wantInst.Count || gotInst.NS != wantInst.NS {
+		t.Errorf("instance stats after load = %+v, want %+v", gotInst, wantInst)
+	}
+	if gotEnt.Count != wantEnt.Count {
+		t.Errorf("entity count after load = %d, want %d", gotEnt.Count, wantEnt.Count)
+	}
+	// Indexes were rebuilt: 8 on entities.
+	if gotEnt.NIndexes != 8 {
+		t.Errorf("entity nindexes after load = %d", gotEnt.NIndexes)
+	}
+	// Queries over the recovered store agree.
+	gotTop := fresh.TopDiscussed(5)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("ranking length %d vs %d", len(gotTop), len(wantTop))
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			t.Errorf("ranking[%d] = %+v, want %+v", i, gotTop[i], wantTop[i])
+		}
+	}
+}
+
+func TestLoadStoresMissingDir(t *testing.T) {
+	tm := New(Config{Fragments: 10, FTSources: 1, Seed: 1})
+	if err := tm.LoadStores(filepath.Join(os.TempDir(), "does-not-exist-dtamer")); err == nil {
+		t.Error("loading from a missing directory should fail")
+	}
+}
+
+func TestSaveStoresCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "snapdir")
+	tm := New(Config{Fragments: 20, FTSources: 1, Shards: 2, Seed: 2})
+	if err := tm.IngestWebText(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.SaveStores(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "entity-0.snap")); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+}

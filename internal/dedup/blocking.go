@@ -1,0 +1,121 @@
+package dedup
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/textutil"
+)
+
+// BlockKeyFunc maps a record to its blocking keys. Records sharing any key
+// become candidate pairs; good keys balance recall (dup records share a key)
+// against block size (pairs grow quadratically per block).
+type BlockKeyFunc func(r *record.Record) []string
+
+// PrefixBlocker blocks on the first n runes of the normalized value of attr,
+// plus the value's sorted token initials (catching word-order swaps).
+func PrefixBlocker(attr string, n int) BlockKeyFunc {
+	return func(r *record.Record) []string {
+		v := textutil.Normalize(r.GetString(attr))
+		if v == "" {
+			return nil
+		}
+		keys := make([]string, 0, 2)
+		runes := []rune(v)
+		if len(runes) > n {
+			runes = runes[:n]
+		}
+		keys = append(keys, "p:"+string(runes))
+		words := strings.Fields(v)
+		if len(words) > 1 {
+			initials := make([]byte, 0, len(words))
+			for _, w := range words {
+				initials = append(initials, w[0])
+			}
+			sort.Slice(initials, func(i, j int) bool { return initials[i] < initials[j] })
+			keys = append(keys, "i:"+string(initials))
+		}
+		return keys
+	}
+}
+
+// TokenBlocker blocks on each content token of attr — higher recall, bigger
+// blocks.
+func TokenBlocker(attr string) BlockKeyFunc {
+	return func(r *record.Record) []string {
+		words := textutil.ContentWords(r.GetString(attr))
+		keys := make([]string, len(words))
+		for i, w := range words {
+			keys[i] = "t:" + w
+		}
+		return keys
+	}
+}
+
+// TypedBlocker prefixes another blocker's keys with the value of a type
+// attribute, so only same-typed records pair (e.g. Movie with Movie).
+func TypedBlocker(typeAttr string, inner BlockKeyFunc) BlockKeyFunc {
+	return func(r *record.Record) []string {
+		typ := strings.ToLower(r.GetString(typeAttr))
+		keys := inner(r)
+		out := make([]string, len(keys))
+		for i, k := range keys {
+			out[i] = typ + "|" + k
+		}
+		return out
+	}
+}
+
+// Pair is a candidate record pair, by index, with I < J.
+type Pair struct{ I, J int }
+
+// CandidatePairs builds the deduplicated candidate pairs induced by the
+// blocker. maxBlock skips pathological blocks larger than the cap (0 means
+// no cap), the standard guard at web scale.
+func CandidatePairs(records []*record.Record, key BlockKeyFunc, maxBlock int) []Pair {
+	blocks := map[string][]int{}
+	for i, r := range records {
+		for _, k := range key(r) {
+			blocks[k] = append(blocks[k], i)
+		}
+	}
+	seen := map[Pair]bool{}
+	var pairs []Pair
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ids := blocks[k]
+		if maxBlock > 0 && len(ids) > maxBlock {
+			continue
+		}
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				p := Pair{I: ids[a], J: ids[b]}
+				if p.I > p.J {
+					p.I, p.J = p.J, p.I
+				}
+				if !seen[p] {
+					seen[p] = true
+					pairs = append(pairs, p)
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// AllPairs enumerates every record pair — the no-blocking baseline the
+// ablation bench compares against.
+func AllPairs(n int) []Pair {
+	var pairs []Pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, Pair{I: i, J: j})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,78 @@
+package dedup
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestCorrelationDeduperBasic(t *testing.T) {
+	m := TrainMatcher(makeLabeledPairs(400, 41), Featurizer{}, nil)
+	records := []*record.Record{
+		rec("s1", map[string]string{"name": "Matilda", "city": "New York"}),
+		rec("s2", map[string]string{"name": "Matild", "city": "New York"}),
+		rec("s3", map[string]string{"name": "Wicked", "city": "New York"}),
+	}
+	d := &CorrelationDeduper{Blocker: PrefixBlocker("name", 3), Matcher: m}
+	clusters := d.Run(records)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	sizes := map[int]int{}
+	for _, c := range clusters {
+		sizes[len(c.Members)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("cluster sizes = %v", sizes)
+	}
+}
+
+func TestCorrelationResistsChaining(t *testing.T) {
+	// A chain A~B, B~C where A and C are dissimilar: transitive closure
+	// merges all three; correlation clustering with a high floor should
+	// refuse the second merge when average linkage drops.
+	m := TrainMatcher(makeLabeledPairs(400, 43), Featurizer{}, nil)
+	records := []*record.Record{
+		rec("s1", map[string]string{"name": "The Walking Dead", "city": "New York"}),
+		rec("s2", map[string]string{"name": "The Walking", "city": "New York"}),
+		rec("s3", map[string]string{"name": "The Walk", "city": "New York"}),
+		rec("s4", map[string]string{"name": "The W", "city": "New York"}),
+	}
+	uf := &Deduper{Blocker: PrefixBlocker("name", 3), Matcher: m}
+	ufClusters := uf.Run(records)
+	corr := &CorrelationDeduper{Blocker: PrefixBlocker("name", 3), Matcher: m, MinAvgProb: 0.9}
+	corrClusters := corr.Run(records)
+	// Correlation clustering must never produce fewer clusters than the
+	// transitive closure on the same matcher (it only refuses merges).
+	if len(corrClusters) < len(ufClusters) {
+		t.Errorf("correlation merged more than closure: %d vs %d",
+			len(corrClusters), len(ufClusters))
+	}
+	// Every member index appears exactly once.
+	seen := map[int]bool{}
+	for _, c := range corrClusters {
+		for _, idx := range c.Members {
+			if seen[idx] {
+				t.Fatalf("index %d in two clusters", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != len(records) {
+		t.Errorf("members covered = %d", len(seen))
+	}
+}
+
+func TestCorrelationDefaultFloor(t *testing.T) {
+	m := TrainMatcher(makeLabeledPairs(200, 44), Featurizer{}, nil)
+	m.Threshold = 0.6
+	d := &CorrelationDeduper{Blocker: PrefixBlocker("name", 3), Matcher: m}
+	records := []*record.Record{
+		rec("a", map[string]string{"name": "Chicago", "city": "Chicago"}),
+		rec("b", map[string]string{"name": "Chicago", "city": "Chicago"}),
+	}
+	clusters := d.Run(records)
+	if len(clusters) != 1 || len(clusters[0].Members) != 2 {
+		t.Errorf("identical records should merge: %+v", clusters)
+	}
+}

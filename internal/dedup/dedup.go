@@ -1,0 +1,181 @@
+package dedup
+
+import (
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/record"
+	"repro/internal/textutil"
+)
+
+// LabeledPair is a labeled training pair for the match classifier.
+type LabeledPair struct {
+	A, B  *record.Record
+	Match bool
+}
+
+// TrainMatcher fits the match classifier from labeled pairs using the given
+// trainer (naive Bayes over discretized similarity features by default when
+// trainer is nil — the configuration behind the paper's 89/90 result).
+func TrainMatcher(pairs []LabeledPair, fz Featurizer, trainer ml.Trainer) *Matcher {
+	if trainer == nil {
+		trainer = ml.NaiveBayesTrainer(5)
+	}
+	examples := make([]ml.Example, len(pairs))
+	for i, p := range pairs {
+		examples[i] = ml.Example{Features: fz.Features(p.A, p.B), Label: p.Match}
+	}
+	return &Matcher{Model: trainer(examples), Featurizer: fz, Threshold: 0.5}
+}
+
+// Matcher classifies whether two records describe the same entity.
+type Matcher struct {
+	Model      ml.Classifier
+	Featurizer Featurizer
+	// Threshold is the match probability floor (default 0.5).
+	Threshold float64
+}
+
+// Prob returns the match probability for a pair.
+func (m *Matcher) Prob(a, b *record.Record) float64 {
+	return m.Model.PredictProb(m.Featurizer.Features(a, b))
+}
+
+// Match reports whether the pair clears the threshold.
+func (m *Matcher) Match(a, b *record.Record) bool {
+	return m.Prob(a, b) >= m.Threshold
+}
+
+// Deduper runs end-to-end entity consolidation.
+type Deduper struct {
+	Blocker  BlockKeyFunc
+	Matcher  *Matcher
+	MaxBlock int // blocking cap (0 = none)
+}
+
+// Cluster is one consolidated entity: the member record indices and the
+// merged record.
+type Cluster struct {
+	Members []int
+	Record  *record.Record
+}
+
+// Run blocks, classifies candidate pairs, clusters transitively, and
+// consolidates each cluster into one record.
+func (d *Deduper) Run(records []*record.Record) []Cluster {
+	pairs := CandidatePairs(records, d.Blocker, d.MaxBlock)
+	uf := NewUnionFind(len(records))
+	for _, p := range pairs {
+		if d.Matcher.Match(records[p.I], records[p.J]) {
+			uf.Union(p.I, p.J)
+		}
+	}
+	var out []Cluster
+	for _, members := range uf.Clusters() {
+		recs := make([]*record.Record, len(members))
+		for i, idx := range members {
+			recs[i] = records[idx]
+		}
+		out = append(out, Cluster{Members: members, Record: Consolidate(recs)})
+	}
+	return out
+}
+
+// Consolidate merges records describing one entity into a composite record:
+// for each attribute, the most frequent normalized value wins (ties broken
+// toward the longest raw value, then lexicographically); provenance is the
+// sorted union of sources.
+func Consolidate(records []*record.Record) *record.Record {
+	if len(records) == 0 {
+		return record.New()
+	}
+	if len(records) == 1 {
+		return records[0].Clone()
+	}
+	// Gather values per normalized attribute, keeping first-seen display name.
+	type valueInfo struct {
+		display string
+		raw     []string
+	}
+	attrs := map[string]*valueInfo{}
+	var order []string
+	for _, r := range records {
+		for _, f := range r.Fields() {
+			key := record.NormalizeName(f.Name)
+			vi, ok := attrs[key]
+			if !ok {
+				vi = &valueInfo{display: f.Name}
+				attrs[key] = vi
+				order = append(order, key)
+			}
+			if !f.Value.IsNull() {
+				vi.raw = append(vi.raw, f.Value.Str())
+			}
+		}
+	}
+	out := record.New()
+	sources := map[string]bool{}
+	for _, r := range records {
+		if r.Source != "" {
+			sources[r.Source] = true
+		}
+	}
+	for _, key := range order {
+		vi := attrs[key]
+		if len(vi.raw) == 0 {
+			continue
+		}
+		best := pickValue(vi.raw)
+		out.Set(vi.display, record.Infer(best))
+	}
+	srcs := make([]string, 0, len(sources))
+	for s := range sources {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	if len(srcs) > 0 {
+		out.Source = srcs[0]
+		if len(srcs) > 1 {
+			joined := srcs[0]
+			for _, s := range srcs[1:] {
+				joined += "+" + s
+			}
+			out.Source = joined
+		}
+	}
+	return out
+}
+
+// pickValue selects the consolidated value: majority by normalized form,
+// ties to the longest raw string, then lexicographic for determinism.
+func pickValue(raw []string) string {
+	counts := map[string]int{}
+	bestRaw := map[string]string{}
+	for _, v := range raw {
+		n := textutil.Normalize(v)
+		counts[n]++
+		cur, ok := bestRaw[n]
+		if !ok || len(v) > len(cur) || (len(v) == len(cur) && v < cur) {
+			bestRaw[n] = v
+		}
+	}
+	type cand struct {
+		norm  string
+		count int
+	}
+	cands := make([]cand, 0, len(counts))
+	for n, c := range counts {
+		cands = append(cands, cand{norm: n, count: c})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		li, lj := len(bestRaw[cands[i].norm]), len(bestRaw[cands[j].norm])
+		if li != lj {
+			return li > lj
+		}
+		return cands[i].norm < cands[j].norm
+	})
+	return bestRaw[cands[0].norm]
+}

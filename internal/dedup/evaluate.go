@@ -1,0 +1,78 @@
+package dedup
+
+// Evaluation: pairwise precision/recall of a clustering against ground
+// truth — the standard entity-resolution quality metric, used by the
+// end-to-end consolidation experiments.
+
+// PairwiseMetrics compares predicted clusters against true clusters over
+// the same record indices, counting record pairs placed together.
+type PairwiseMetrics struct {
+	TP, FP, FN int64
+}
+
+// Precision is TP / (TP + FP); 1 when nothing was merged.
+func (m PairwiseMetrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP / (TP + FN); 1 when there are no true pairs.
+func (m PairwiseMetrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of pairwise precision and recall.
+func (m PairwiseMetrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// EvaluateClustering computes pairwise metrics. predicted holds cluster
+// member index lists (as produced by Deduper.Run); truth maps each record
+// index to its true entity id. Records missing from truth are ignored.
+func EvaluateClustering(predicted [][]int, truth map[int]int) PairwiseMetrics {
+	var m PairwiseMetrics
+	predictedCluster := map[int]int{}
+	for ci, members := range predicted {
+		for _, idx := range members {
+			predictedCluster[idx] = ci
+		}
+	}
+	// Enumerate all record pairs present in truth.
+	indices := make([]int, 0, len(truth))
+	for idx := range truth {
+		indices = append(indices, idx)
+	}
+	// Sort for determinism (map iteration order).
+	for i := 1; i < len(indices); i++ {
+		for j := i; j > 0 && indices[j] < indices[j-1]; j-- {
+			indices[j], indices[j-1] = indices[j-1], indices[j]
+		}
+	}
+	for i := 0; i < len(indices); i++ {
+		for j := i + 1; j < len(indices); j++ {
+			a, b := indices[i], indices[j]
+			sameTruth := truth[a] == truth[b]
+			ca, aok := predictedCluster[a]
+			cb, bok := predictedCluster[b]
+			samePred := aok && bok && ca == cb
+			switch {
+			case sameTruth && samePred:
+				m.TP++
+			case !sameTruth && samePred:
+				m.FP++
+			case sameTruth && !samePred:
+				m.FN++
+			}
+		}
+	}
+	return m
+}

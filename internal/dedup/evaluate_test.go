@@ -1,0 +1,95 @@
+package dedup
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestEvaluateClusteringPerfect(t *testing.T) {
+	predicted := [][]int{{0, 1}, {2}, {3, 4, 5}}
+	truth := map[int]int{0: 100, 1: 100, 2: 200, 3: 300, 4: 300, 5: 300}
+	m := EvaluateClustering(predicted, truth)
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("perfect clustering = %+v", m)
+	}
+	if m.TP != 4 { // pairs (0,1), (3,4), (3,5), (4,5)
+		t.Errorf("TP = %d", m.TP)
+	}
+}
+
+func TestEvaluateClusteringOverMerge(t *testing.T) {
+	// Everything in one cluster: recall 1, precision < 1.
+	predicted := [][]int{{0, 1, 2, 3}}
+	truth := map[int]int{0: 1, 1: 1, 2: 2, 3: 2}
+	m := EvaluateClustering(predicted, truth)
+	if m.Recall() != 1 {
+		t.Errorf("recall = %f", m.Recall())
+	}
+	// 6 predicted pairs, 2 true → precision 1/3.
+	if math.Abs(m.Precision()-1.0/3.0) > 1e-9 {
+		t.Errorf("precision = %f", m.Precision())
+	}
+}
+
+func TestEvaluateClusteringUnderMerge(t *testing.T) {
+	// All singletons: precision 1 (nothing merged), recall 0.
+	predicted := [][]int{{0}, {1}, {2}, {3}}
+	truth := map[int]int{0: 1, 1: 1, 2: 1, 3: 2}
+	m := EvaluateClustering(predicted, truth)
+	if m.Precision() != 1 {
+		t.Errorf("precision = %f", m.Precision())
+	}
+	if m.Recall() != 0 {
+		t.Errorf("recall = %f", m.Recall())
+	}
+	if m.F1() != 0 {
+		t.Errorf("f1 = %f", m.F1())
+	}
+}
+
+func TestEvaluateClusteringIgnoresUnknownRecords(t *testing.T) {
+	predicted := [][]int{{0, 1, 99}} // 99 not in truth
+	truth := map[int]int{0: 1, 1: 1}
+	m := EvaluateClustering(predicted, truth)
+	if m.TP != 1 || m.FP != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestEvaluateClusteringEndToEnd(t *testing.T) {
+	// Tie the evaluator to the actual Deduper: build records with known
+	// entity ids, run consolidation, and score it.
+	m := TrainMatcher(makeLabeledPairs(400, 31), Featurizer{}, nil)
+	// Simple corpus: 3 entities, 2 records each with small noise.
+	data := []struct {
+		name string
+		city string
+		eid  int
+	}{
+		{"Matilda", "New York", 1},
+		{"Matild", "New York", 1},
+		{"Wicked", "New York", 2},
+		{"Wicke", "New York", 2},
+		{"Goodfellas", "Boston", 3},
+		{"Goodfella", "Boston", 3},
+	}
+	var input []*record.Record
+	truth := map[int]int{}
+	for i, d := range data {
+		r := rec("s", map[string]string{"name": d.name, "city": d.city})
+		input = append(input, r)
+		truth[i] = d.eid
+	}
+	dd := &Deduper{Blocker: PrefixBlocker("name", 3), Matcher: m}
+	clusters := dd.Run(input)
+	predicted := make([][]int, len(clusters))
+	for i, c := range clusters {
+		predicted[i] = c.Members
+	}
+	metrics := EvaluateClustering(predicted, truth)
+	if metrics.F1() < 0.8 {
+		t.Errorf("end-to-end clustering F1 = %f (%+v)", metrics.F1(), metrics)
+	}
+}

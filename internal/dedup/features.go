@@ -1,0 +1,94 @@
+package dedup
+
+import (
+	"repro/internal/ml"
+	"repro/internal/record"
+	"repro/internal/similarity"
+	"repro/internal/textutil"
+)
+
+// Featurizer turns a record pair into the similarity feature vector the
+// match classifier consumes. Attrs limits which attributes contribute;
+// when empty, the union of the pair's attributes is used.
+type Featurizer struct {
+	Attrs []string
+}
+
+// Features computes the pair's feature vector: per-attribute Jaro-Winkler,
+// trigram and token-set similarities, plus structural features (shared
+// attribute fraction, exact-equality fraction).
+func (f Featurizer) Features(a, b *record.Record) ml.Features {
+	attrs := f.Attrs
+	if len(attrs) == 0 {
+		attrs = unionAttrs(a, b)
+	}
+	out := ml.Features{}
+	shared, exact := 0, 0
+	for _, attr := range attrs {
+		va, aok := a.Get(attr)
+		vb, bok := b.Get(attr)
+		if !aok || !bok || va.IsNull() || vb.IsNull() {
+			continue
+		}
+		shared++
+		sa := textutil.Normalize(va.Str())
+		sb := textutil.Normalize(vb.Str())
+		if sa == sb {
+			exact++
+		}
+		key := record.NormalizeName(attr)
+		out["jw:"+key] = similarity.JaroWinkler(sa, sb)
+		out["tri:"+key] = similarity.TrigramSim(sa, sb)
+		out["tok:"+key] = similarity.JaccardStrings(textutil.ContentWords(sa), textutil.ContentWords(sb))
+		if fa, aok := va.AsFloat(); aok {
+			if fb, bok := vb.AsFloat(); bok {
+				out["num:"+key] = numericCloseness(fa, fb)
+			}
+		}
+	}
+	if shared > 0 {
+		out["sharedFrac"] = float64(shared) / float64(len(attrs))
+		out["exactFrac"] = float64(exact) / float64(shared)
+	}
+	return out
+}
+
+// numericCloseness maps two numbers to (0,1]: 1 when equal, decaying with
+// relative difference.
+func numericCloseness(a, b float64) float64 {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if s := b; s < 0 {
+		s = -s
+		if s > scale {
+			scale = s
+		}
+	} else if b > scale {
+		scale = b
+	}
+	if scale == 0 {
+		return 1
+	}
+	return 1 / (1 + diff/scale)
+}
+
+func unionAttrs(a, b *record.Record) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range []*record.Record{a, b} {
+		for _, f := range r.Fields() {
+			key := record.NormalizeName(f.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, f.Name)
+			}
+		}
+	}
+	return out
+}

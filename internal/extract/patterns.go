@@ -1,0 +1,37 @@
+package extract
+
+import "regexp"
+
+// Pattern is a surface pattern that extracts a typed span by regex.
+type Pattern struct {
+	Type Type
+	// Attr names the attribute the match populates on the enclosing
+	// fragment (e.g. "gross", "price"); empty for plain entity mentions.
+	Attr string
+	Re   *regexp.Regexp
+}
+
+// Built-in surface patterns. URL is an entity type of Table III; money,
+// price, date and schedule spans become attributes on the extracted
+// fragment, which is how the demo's CHEAPEST_PRICE and FIRST fields get
+// populated from text.
+var (
+	urlRe      = regexp.MustCompile(`\bhttps?://[^\s"']+|\bwww\.[^\s"']+`)
+	moneyRe    = regexp.MustCompile(`\$\s?\d{1,3}(?:,\d{3})*(?:\.\d+)?|\b\d{1,3}(?:,\d{3})+(?:\.\d+)?\b`)
+	priceRe    = regexp.MustCompile(`\$\s?\d{1,4}(?:\.\d{2})?\b`)
+	dateRe     = regexp.MustCompile(`\b\d{1,2}/\d{1,2}/\d{4}\b|\b\d{4}-\d{2}-\d{2}\b`)
+	scheduleRe = regexp.MustCompile(`(?i)\b(?:mon|tue|tues|wed|thu|thurs|fri|sat|sun)[a-z]*\.?(?:-(?:mon|tue|tues|wed|thu|thurs|fri|sat|sun)[a-z]*\.?)? at \d{1,2}(?::\d{2})?\s?(?:am|pm)\b`)
+	percentRe  = regexp.MustCompile(`\b\d{1,3} percent\b|\b\d{1,3}%`)
+)
+
+// DefaultPatterns lists the parser's surface patterns in priority order.
+func DefaultPatterns() []Pattern {
+	return []Pattern{
+		{Type: URL, Re: urlRe},
+		{Type: "", Attr: "schedule", Re: scheduleRe},
+		{Type: "", Attr: "price", Re: priceRe},
+		{Type: "", Attr: "gross", Re: moneyRe},
+		{Type: "", Attr: "date", Re: dateRe},
+		{Type: "", Attr: "percent", Re: percentRe},
+	}
+}

@@ -1,0 +1,109 @@
+// Package flatten converts hierarchical semi-structured documents into flat
+// records — the pre-processing step the paper describes between the
+// domain-specific parser's output and Data Tamer's relational core.
+package flatten
+
+import (
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+// Options controls flattening behaviour.
+type Options struct {
+	// Separator joins path segments in flattened field names (default ".").
+	Separator string
+	// MaxRecords caps the output per document to guard against cross-product
+	// explosion of multiple lists (0 means no cap).
+	MaxRecords int
+}
+
+func (o Options) sep() string {
+	if o.Separator == "" {
+		return "."
+	}
+	return o.Separator
+}
+
+// Flatten converts a document into flat records with default options:
+// nested document fields become dotted paths, and each list unnests
+// relationally (one output record per element, cross-producting multiple
+// lists).
+func Flatten(d *store.Doc) []*record.Record {
+	return Options{}.Flatten(d)
+}
+
+// Flatten converts a document under the receiver's options.
+func (o Options) Flatten(d *store.Doc) []*record.Record {
+	base := record.New()
+	recs := o.walk(d, "", []*record.Record{base})
+	return recs
+}
+
+// walk merges document d (at path prefix) into every record in acc,
+// expanding lists relationally.
+func (o Options) walk(d *store.Doc, prefix string, acc []*record.Record) []*record.Record {
+	for _, name := range d.Names() {
+		v, _ := d.Get(name)
+		path := name
+		if prefix != "" {
+			path = prefix + o.sep() + name
+		}
+		switch {
+		case v.IsScalar():
+			for _, r := range acc {
+				r.Set(path, v.Scalar())
+			}
+		case v.IsDoc():
+			acc = o.walk(v.Doc(), path, acc)
+		case v.IsList():
+			acc = o.expandList(v.List(), path, acc)
+		}
+		if o.MaxRecords > 0 && len(acc) > o.MaxRecords {
+			acc = acc[:o.MaxRecords]
+		}
+	}
+	return acc
+}
+
+// expandList unnests a list: each accumulated record is replicated once per
+// list element. An empty list leaves records unchanged (the field is simply
+// absent).
+func (o Options) expandList(list []store.DocValue, path string, acc []*record.Record) []*record.Record {
+	if len(list) == 0 {
+		return acc
+	}
+	var out []*record.Record
+	for _, base := range acc {
+		for _, elem := range list {
+			r := base.Clone()
+			switch {
+			case elem.IsScalar():
+				r.Set(path, elem.Scalar())
+				out = append(out, r)
+			case elem.IsDoc():
+				expanded := o.walk(elem.Doc(), path, []*record.Record{r})
+				out = append(out, expanded...)
+			case elem.IsList():
+				expanded := o.expandList(elem.List(), path, []*record.Record{r})
+				out = append(out, expanded...)
+			}
+			if o.MaxRecords > 0 && len(out) >= o.MaxRecords {
+				return out[:o.MaxRecords]
+			}
+		}
+	}
+	return out
+}
+
+// FlattenAll flattens a batch of documents, tagging each record with the
+// source name.
+func FlattenAll(docs []*store.Doc, source string) []*record.Record {
+	var out []*record.Record
+	for _, d := range docs {
+		for _, r := range Flatten(d) {
+			r.Source = source
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package flatten
+
+import (
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+func TestFlattenScalarsOnly(t *testing.T) {
+	d := store.NewDoc().Set("a", store.Num(1)).Set("b", store.Str("x"))
+	recs := Flatten(d)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].GetString("a") != "1" || recs[0].GetString("b") != "x" {
+		t.Errorf("record = %v", recs[0])
+	}
+}
+
+func TestFlattenNestedDoc(t *testing.T) {
+	d := store.NewDoc().Set("entity", store.Nested(
+		store.NewDoc().Set("name", store.Str("Matilda")).Set("type", store.Str("Movie")),
+	))
+	recs := Flatten(d)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if got := recs[0].GetString("entity.name"); got != "Matilda" {
+		t.Errorf("entity.name = %q; record=%v", got, recs[0])
+	}
+}
+
+func TestFlattenListUnnests(t *testing.T) {
+	d := store.NewDoc().
+		Set("url", store.Str("u1")).
+		Set("entities", store.List(
+			store.Nested(store.NewDoc().Set("name", store.Str("A"))),
+			store.Nested(store.NewDoc().Set("name", store.Str("B"))),
+		))
+	recs := Flatten(d)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, want := range []string{"A", "B"} {
+		if got := recs[i].GetString("entities.name"); got != want {
+			t.Errorf("rec %d entities.name = %q", i, got)
+		}
+		if recs[i].GetString("url") != "u1" {
+			t.Errorf("rec %d lost scalar context", i)
+		}
+	}
+}
+
+func TestFlattenScalarList(t *testing.T) {
+	d := store.NewDoc().Set("tags", store.List(store.Str("x"), store.Str("y"), store.Str("z")))
+	recs := Flatten(d)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[2].GetString("tags") != "z" {
+		t.Errorf("rec 2 = %v", recs[2])
+	}
+}
+
+func TestFlattenCrossProduct(t *testing.T) {
+	d := store.NewDoc().
+		Set("xs", store.List(store.Num(1), store.Num(2))).
+		Set("ys", store.List(store.Str("a"), store.Str("b"), store.Str("c")))
+	recs := Flatten(d)
+	if len(recs) != 6 {
+		t.Fatalf("cross product = %d, want 6", len(recs))
+	}
+}
+
+func TestFlattenMaxRecordsCap(t *testing.T) {
+	d := store.NewDoc().
+		Set("xs", store.List(store.Num(1), store.Num(2), store.Num(3), store.Num(4))).
+		Set("ys", store.List(store.Str("a"), store.Str("b"), store.Str("c"), store.Str("d")))
+	recs := Options{MaxRecords: 5}.Flatten(d)
+	if len(recs) > 5 {
+		t.Errorf("cap violated: %d", len(recs))
+	}
+}
+
+func TestFlattenEmptyListKeepsRecord(t *testing.T) {
+	d := store.NewDoc().Set("a", store.Num(1)).Set("empty", store.List())
+	recs := Flatten(d)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Has("empty") {
+		t.Error("empty list should produce no field")
+	}
+}
+
+func TestFlattenDeepNesting(t *testing.T) {
+	d := store.NewDoc().Set("a", store.Nested(
+		store.NewDoc().Set("b", store.Nested(
+			store.NewDoc().Set("c", store.Str("deep")),
+		)),
+	))
+	recs := Flatten(d)
+	if got := recs[0].GetString("a.b.c"); got != "deep" {
+		t.Errorf("a.b.c = %q", got)
+	}
+}
+
+func TestFlattenCustomSeparator(t *testing.T) {
+	d := store.NewDoc().Set("a", store.Nested(store.NewDoc().Set("b", store.Num(1))))
+	recs := Options{Separator: "__"}.Flatten(d)
+	if !recs[0].Has("a__b") {
+		t.Errorf("record = %v", recs[0])
+	}
+}
+
+func TestFlattenAllTagsSource(t *testing.T) {
+	docs := []*store.Doc{
+		store.NewDoc().Set("a", store.Num(1)),
+		store.NewDoc().Set("a", store.Num(2)),
+	}
+	recs := FlattenAll(docs, "webinstance")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Source != "webinstance" {
+			t.Errorf("source = %q", r.Source)
+		}
+	}
+}
+
+func TestFlattenInstanceShape(t *testing.T) {
+	// The WEBINSTANCE shape used throughout the pipeline.
+	inst := store.NewDoc().
+		Set("source_url", store.Str("http://x.com")).
+		Set("text", store.Str("Matilda grossed 960,998")).
+		Set("entities", store.List(
+			store.Nested(store.NewDoc().Set("type", store.Str("Movie")).Set("name", store.Str("Matilda"))),
+		))
+	recs := Flatten(inst)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.GetString("entities.type") != "Movie" || r.GetString("text") == "" {
+		t.Errorf("flattened instance = %v", r)
+	}
+	if _, ok := r.Get("entities.name"); !ok {
+		t.Error("entities.name missing")
+	}
+	var _ record.Record // keep record import used in minimal builds
+}

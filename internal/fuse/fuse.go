@@ -1,0 +1,209 @@
+// Package fuse implements the query side of the fused system: mention
+// ranking over the web-text store (Table IV), text-only entity views
+// (Table V), and the enrichment join across the integrated global schema
+// that adds structured fields to text results (Table VI).
+package fuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/store"
+	"repro/internal/textutil"
+)
+
+// Discussed is one row of the Table IV ranking.
+type Discussed struct {
+	Name     string
+	Mentions int64
+}
+
+// Engine queries the web-text stores.
+type Engine struct {
+	// Instances is the WEBINSTANCE namespace (text fragments + entity refs).
+	Instances *store.Sharded
+	// Entities is the WEBENTITIES namespace (typed entity documents).
+	Entities *store.Sharded
+}
+
+// TopDiscussed ranks award-winning movies/shows by mention count in the
+// entity store — the Table IV query. Ties break lexicographically.
+func (e *Engine) TopDiscussed(k int) []Discussed {
+	counts := map[string]*Discussed{}
+	e.Entities.Scan(func(_ int, _ int64, d *store.Doc) bool {
+		if d.PathString("type") != "Movie" {
+			return true
+		}
+		if d.PathString("attributes.award_winning") != "true" {
+			return true
+		}
+		name := textutil.Normalize(d.PathString("name"))
+		if name == "" {
+			return true
+		}
+		dd, ok := counts[name]
+		if !ok {
+			dd = &Discussed{Name: displayName(d.PathString("name"))}
+			counts[name] = dd
+		}
+		dd.Mentions++
+		return true
+	})
+	out := make([]Discussed, 0, len(counts))
+	for _, d := range counts {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mentions != out[j].Mentions {
+			return out[i].Mentions > out[j].Mentions
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func displayName(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		r := []rune(w)
+		if len(r) > 0 && r[0] >= 'a' && r[0] <= 'z' {
+			r[0] = r[0] - 'a' + 'A'
+		}
+		words[i] = string(r)
+	}
+	return strings.Join(words, " ")
+}
+
+// TextFeeds returns the text fragments mentioning the show, most
+// informative first — the demo surfaces the feed richest in box-office
+// detail. Relevance counts "grossed" spans, show mentions, and award
+// context; ties break toward longer, then lexicographically smaller feeds.
+func (e *Engine) TextFeeds(show string, limit int) []string {
+	var feeds []string
+	docs := e.Instances.Find(store.Contains("text", show))
+	for _, d := range docs {
+		feeds = append(feeds, d.PathString("text"))
+	}
+	lowShow := strings.ToLower(show)
+	// Relevance is the best single sentence about the queried show:
+	// "grossed" amounts co-occurring with the show name dominate, then
+	// mention count and award context. Scoring per-sentence (max, not sum)
+	// keeps a fragment that merely mentions many shows from outranking a
+	// dense box-office statement about this one.
+	score := func(s string) int {
+		best := 0
+		for _, sent := range textutil.Sentences(s) {
+			low := strings.ToLower(sent)
+			if !strings.Contains(low, lowShow) {
+				continue
+			}
+			v := 4*strings.Count(low, "grossed") +
+				2*strings.Count(low, lowShow) +
+				strings.Count(low, "award-winning")
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	sort.Slice(feeds, func(i, j int) bool {
+		si, sj := score(feeds[i]), score(feeds[j])
+		if si != sj {
+			return si > sj
+		}
+		if len(feeds[i]) != len(feeds[j]) {
+			return len(feeds[i]) > len(feeds[j])
+		}
+		return feeds[i] < feeds[j]
+	})
+	if limit > 0 && len(feeds) > limit {
+		feeds = feeds[:limit]
+	}
+	return feeds
+}
+
+// WebTextRecord builds the Table V view: what the system knows about a show
+// from web text alone (SHOW_NAME and TEXT_FEED; no theaters, pricing or
+// schedules).
+func (e *Engine) WebTextRecord(show string) *record.Record {
+	r := record.New()
+	r.Source = "webinstance"
+	r.Set("SHOW_NAME", record.String(show))
+	feeds := e.TextFeeds(show, 1)
+	if len(feeds) > 0 {
+		r.Set("TEXT_FEED", record.String(feeds[0]))
+	}
+	return r
+}
+
+// Enrich merges the structured record for the same entity into the web-text
+// record — the Table VI enrichment join. Fields already present win (text
+// evidence is what the user searched); structured fields fill the gaps.
+func Enrich(webText *record.Record, structured *record.Record) *record.Record {
+	out := webText.Clone()
+	if structured == nil {
+		return out
+	}
+	for _, f := range structured.Fields() {
+		if f.Value.IsNull() {
+			continue
+		}
+		if !out.Has(f.Name) {
+			out.Set(f.Name, f.Value)
+		}
+	}
+	if structured.Source != "" {
+		if out.Source != "" {
+			out.Source = out.Source + "+" + structured.Source
+		} else {
+			out.Source = structured.Source
+		}
+	}
+	return out
+}
+
+// Lookup finds records whose attr value normalizes equal to value.
+func Lookup(records []*record.Record, attr, value string) []*record.Record {
+	want := textutil.Normalize(value)
+	var out []*record.Record
+	for _, r := range records {
+		if textutil.Normalize(r.GetString(attr)) == want {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FormatKV renders a record in the paper's Table V/VI style: one attribute
+// per row, preferred attributes first, values quoted.
+func FormatKV(r *record.Record, preferred []string) string {
+	var b strings.Builder
+	printed := map[string]bool{}
+	emit := func(name string) {
+		v, ok := r.Get(name)
+		if !ok || v.IsNull() {
+			return
+		}
+		key := record.NormalizeName(name)
+		if printed[key] {
+			return
+		}
+		printed[key] = true
+		fmt.Fprintf(&b, "%-16s %q\n", strings.ToUpper(key), v.Str())
+	}
+	for _, name := range preferred {
+		emit(name)
+	}
+	for _, f := range r.Fields() {
+		emit(f.Name)
+	}
+	return b.String()
+}
+
+// TableVIOrder is the attribute order of the paper's Table VI.
+var TableVIOrder = []string{"SHOW_NAME", "THEATER", "PERFORMANCE", "TEXT_FEED", "CHEAPEST_PRICE", "FIRST"}

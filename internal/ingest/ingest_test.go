@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestReadCSV(t *testing.T) {
+	csv := "Show Name,Theater,Price,First\nMatilda,Shubert,27,3/4/2013\nWicked,Gershwin,89.5,10/30/2003\n"
+	src, err := ReadCSV("ft1", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Records) != 2 {
+		t.Fatalf("records = %d", len(src.Records))
+	}
+	r := src.Records[0]
+	if r.GetString("show_name") != "Matilda" {
+		t.Errorf("show_name = %q", r.GetString("show_name"))
+	}
+	if v, _ := r.Get("price"); v.Kind() != record.KindInt {
+		t.Errorf("price kind = %v", v.Kind())
+	}
+	if v, _ := r.Get("first"); v.Kind() != record.KindTime {
+		t.Errorf("first kind = %v", v.Kind())
+	}
+	if r.Source != "ft1" || r.ID == "" {
+		t.Errorf("provenance: source=%q id=%q", r.Source, r.ID)
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	csv := "a,b,c\n1,2\n4,5,6,7\n"
+	src, err := ReadCSV("x", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Records) != 2 {
+		t.Fatalf("records = %d", len(src.Records))
+	}
+	if src.Records[0].Has("c") {
+		t.Error("short row should omit c")
+	}
+	if src.Records[1].Len() != 3 {
+		t.Error("long row should truncate to header len")
+	}
+}
+
+func TestReadCSVEmptyHeader(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Error("expected error on empty input")
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	js := `[{"show":"Matilda","price":27,"sold_out":false,"rating":4.5},{"show":"Once","price":null}]`
+	src, err := ReadJSON("j1", strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Records) != 2 {
+		t.Fatalf("records = %d", len(src.Records))
+	}
+	r := src.Records[0]
+	if v, _ := r.Get("price"); v.Kind() != record.KindInt {
+		t.Errorf("price kind = %v", v.Kind())
+	}
+	if v, _ := r.Get("rating"); v.Kind() != record.KindFloat {
+		t.Errorf("rating kind = %v", v.Kind())
+	}
+	if v, _ := r.Get("sold_out"); v.Kind() != record.KindBool {
+		t.Errorf("sold_out kind = %v", v.Kind())
+	}
+	if v, _ := src.Records[1].Get("price"); !v.IsNull() {
+		t.Errorf("null price = %v", v)
+	}
+}
+
+func TestReadJSONRejectsNested(t *testing.T) {
+	js := `[{"a":{"nested":1}}]`
+	if _, err := ReadJSON("j", strings.NewReader(js)); err == nil {
+		t.Error("nested object should be rejected")
+	}
+}
+
+func TestAttributesAndTypes(t *testing.T) {
+	csv := "name,price\nA,1\nB,2\nC,not-a-number\n"
+	src, _ := ReadCSV("s", strings.NewReader(csv))
+	attrs := src.Attributes()
+	if len(attrs) != 2 {
+		t.Fatalf("attributes = %v", attrs)
+	}
+	if k := src.AttributeType("price"); k != record.KindInt {
+		t.Errorf("price dominant kind = %v", k)
+	}
+	if k := src.AttributeType("name"); k != record.KindString {
+		t.Errorf("name kind = %v", k)
+	}
+	if k := src.AttributeType("missing"); k != record.KindString {
+		t.Errorf("missing attr kind = %v", k)
+	}
+	if vals := src.Values("price"); len(vals) != 3 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	s1 := NewSource("a", []*record.Record{record.New()})
+	s2 := NewSource("b", nil)
+	reg.Register(s1)
+	reg.Register(s2)
+	if got, _ := reg.Get("a"); got != s1 {
+		t.Error("Get(a) failed")
+	}
+	if len(reg.Sources()) != 2 {
+		t.Errorf("sources = %d", len(reg.Sources()))
+	}
+	if reg.TotalRecords() != 1 {
+		t.Errorf("total = %d", reg.TotalRecords())
+	}
+	// Replacement keeps order.
+	s1b := NewSource("a", nil)
+	reg.Register(s1b)
+	if len(reg.Sources()) != 2 || reg.Sources()[0] != s1b {
+		t.Error("replacement broke ordering")
+	}
+}

@@ -1,0 +1,61 @@
+package ml
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// HashingVectorizer maps token streams into a fixed-size feature space by
+// hashing (the "hashing trick"), so text models keep bounded memory on
+// unbounded vocabularies — the standard trick for web-scale text cleaning.
+type HashingVectorizer struct {
+	// Buckets is the feature-space size (default 1 << 18 when 0).
+	Buckets uint32
+	// Signed flips half the features negative (hash-sign trick) which
+	// reduces collision bias; off by default for NB compatibility (NB
+	// ignores non-positive features).
+	Signed bool
+}
+
+func (h HashingVectorizer) buckets() uint32 {
+	if h.Buckets == 0 {
+		return 1 << 18
+	}
+	return h.Buckets
+}
+
+// Vectorize hashes tokens into a sparse feature vector. Feature names are
+// "h<bucket>"; repeated tokens accumulate.
+func (h HashingVectorizer) Vectorize(tokens []string) Features {
+	out := Features{}
+	n := h.buckets()
+	for _, tok := range tokens {
+		hash := fnv.New32a()
+		hash.Write([]byte(tok))
+		sum := hash.Sum32()
+		bucket := sum % n
+		val := 1.0
+		if h.Signed && sum&0x80000000 != 0 {
+			val = -1
+		}
+		out[fmt.Sprintf("h%d", bucket)] += val
+	}
+	return out
+}
+
+// VectorizeBigrams hashes unigrams plus adjacent-token bigrams, catching
+// local context ("walking dead") without a vocabulary.
+func (h HashingVectorizer) VectorizeBigrams(tokens []string) Features {
+	out := h.Vectorize(tokens)
+	if len(tokens) < 2 {
+		return out
+	}
+	bigrams := make([]string, 0, len(tokens)-1)
+	for i := 0; i+1 < len(tokens); i++ {
+		bigrams = append(bigrams, tokens[i]+"\x00"+tokens[i+1])
+	}
+	for name, v := range h.Vectorize(bigrams) {
+		out["b"+name] += v
+	}
+	return out
+}

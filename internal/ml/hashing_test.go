@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashingVectorizerDeterministic(t *testing.T) {
+	h := HashingVectorizer{Buckets: 1024}
+	a := h.Vectorize([]string{"walking", "dead", "walking"})
+	b := h.Vectorize([]string{"walking", "dead", "walking"})
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("vectors differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterministic: %s", k)
+		}
+	}
+	// Repeated token accumulates.
+	total := 0.0
+	for _, v := range a {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("total mass = %f", total)
+	}
+}
+
+func TestHashingVectorizerBounded(t *testing.T) {
+	h := HashingVectorizer{Buckets: 16}
+	tokens := make([]string, 1000)
+	for i := range tokens {
+		tokens[i] = string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	v := h.Vectorize(tokens)
+	if len(v) > 16 {
+		t.Errorf("features = %d, want <= 16", len(v))
+	}
+}
+
+func TestHashingVectorizerSigned(t *testing.T) {
+	h := HashingVectorizer{Buckets: 8, Signed: true}
+	v := h.Vectorize([]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"})
+	hasNeg := false
+	for _, val := range v {
+		if val < 0 {
+			hasNeg = true
+		}
+	}
+	if !hasNeg {
+		t.Error("signed hashing produced no negative features")
+	}
+}
+
+func TestVectorizeBigrams(t *testing.T) {
+	h := HashingVectorizer{Buckets: 1024}
+	v := h.VectorizeBigrams([]string{"walking", "dead"})
+	// 2 unigrams + 1 bigram = mass 3 (all positive, unsigned).
+	total := 0.0
+	for _, val := range v {
+		total += val
+	}
+	if total != 3 {
+		t.Errorf("mass = %f", total)
+	}
+	single := h.VectorizeBigrams([]string{"only"})
+	if len(single) != 1 {
+		t.Errorf("single token bigrams = %v", single)
+	}
+}
+
+func TestHashedModelLearns(t *testing.T) {
+	// Text classification through the hashing trick end to end.
+	h := HashingVectorizer{Buckets: 4096}
+	examples := make([]Example, 0, 400)
+	for _, ex := range syntheticText(400, 5) {
+		tokens := []string{}
+		for name, v := range ex.Features {
+			for i := 0; i < int(v); i++ {
+				tokens = append(tokens, name)
+			}
+		}
+		examples = append(examples, Example{Features: h.Vectorize(tokens), Label: ex.Label})
+	}
+	res := CrossValidate(NaiveBayesTrainer(0), examples, 5, 1)
+	if res.MeanF1() < 0.9 {
+		t.Errorf("hashed NB F1 = %f", res.MeanF1())
+	}
+}
+
+// Property: vectorizing never exceeds bucket count and mass equals token
+// count for unsigned hashing.
+func TestQuickHashingMass(t *testing.T) {
+	h := HashingVectorizer{Buckets: 64}
+	f := func(tokens []string) bool {
+		v := h.Vectorize(tokens)
+		if len(v) > 64 {
+			return false
+		}
+		var mass float64
+		for _, val := range v {
+			mass += val
+		}
+		return mass == float64(len(tokens))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	m := TrainLogReg(syntheticLinear(500, 0.05, 1), LogRegConfig{})
+	test := syntheticLinear(300, 0.05, 2)
+	curve := PRCurve(m, test)
+	if len(curve) < 10 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	// Thresholds descend; recall is non-decreasing.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatal("thresholds not descending")
+		}
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatal("recall not monotone")
+		}
+	}
+	// The final point has recall 1 (every positive predicted positive).
+	if last := curve[len(curve)-1]; math.Abs(last.Recall-1) > 1e-9 {
+		t.Errorf("final recall = %f", last.Recall)
+	}
+	best := BestF1(curve)
+	if best.F1() < 0.85 {
+		t.Errorf("best F1 = %f", best.F1())
+	}
+	ap := AveragePrecision(curve)
+	if ap < 0.85 || ap > 1 {
+		t.Errorf("average precision = %f", ap)
+	}
+}
+
+func TestPRCurveEdge(t *testing.T) {
+	if got := PRCurve(TrainNaiveBayes(nil), nil); got != nil {
+		t.Errorf("empty curve = %v", got)
+	}
+	if BestF1(nil).F1() != 0 {
+		t.Error("empty BestF1 should be zero point")
+	}
+	if AveragePrecision(nil) != 0 {
+		t.Error("empty AP should be 0")
+	}
+}
+
+func TestPRCurveAllNegatives(t *testing.T) {
+	m := TrainNaiveBayes(syntheticText(50, 8))
+	examples := []Example{
+		{Features: Features{"distinct": 1}, Label: false},
+		{Features: Features{"distinct": 2}, Label: false},
+	}
+	curve := PRCurve(m, examples)
+	for _, p := range curve {
+		if p.Recall != 1 {
+			t.Errorf("no-positive recall = %f", p.Recall)
+		}
+	}
+}

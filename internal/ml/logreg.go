@@ -1,0 +1,124 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// LogRegConfig controls logistic-regression training.
+type LogRegConfig struct {
+	Epochs       int     // passes over the data (default 25)
+	LearningRate float64 // SGD step size (default 0.1)
+	L2           float64 // L2 regularization strength (default 1e-4)
+	Seed         int64   // shuffle seed (default 1)
+}
+
+func (c LogRegConfig) withDefaults() LogRegConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 25
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LogReg is an L2-regularized logistic regression model trained by SGD.
+type LogReg struct {
+	weights map[string]float64
+	bias    float64
+}
+
+// featPair is a (feature, value) entry in deterministic (sorted) order, so
+// SGD float accumulation is bit-reproducible across runs.
+type featPair struct {
+	name string
+	val  float64
+}
+
+func sortedFeatures(f Features) []featPair {
+	out := make([]featPair, 0, len(f))
+	for name, v := range f {
+		out = append(out, featPair{name: name, val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// TrainLogReg fits a logistic regression model. Training is deterministic
+// given the seed: examples shuffle with a seeded RNG and features apply in
+// sorted order.
+func TrainLogReg(examples []Example, cfg LogRegConfig) *LogReg {
+	cfg = cfg.withDefaults()
+	m := &LogReg{weights: make(map[string]float64)}
+	feats := make([][]featPair, len(examples))
+	for i, ex := range examples {
+		feats[i] = sortedFeatures(ex.Features)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		for _, idx := range order {
+			z := m.bias
+			for _, fp := range feats[idx] {
+				z += m.weights[fp.name] * fp.val
+			}
+			p := squash(z)
+			y := 0.0
+			if examples[idx].Label {
+				y = 1
+			}
+			grad := p - y
+			for _, fp := range feats[idx] {
+				w := m.weights[fp.name]
+				m.weights[fp.name] = w - lr*(grad*fp.val+cfg.L2*w)
+			}
+			m.bias -= lr * grad
+		}
+	}
+	return m
+}
+
+func squash(z float64) float64 {
+	switch {
+	case z > 35:
+		return 1
+	case z < -35:
+		return 0
+	default:
+		return 1 / (1 + math.Exp(-z))
+	}
+}
+
+// PredictProb implements Classifier.
+func (m *LogReg) PredictProb(f Features) float64 {
+	z := m.bias
+	for name, v := range f {
+		z += m.weights[name] * v
+	}
+	return squash(z)
+}
+
+// Weight exposes a learned weight, for inspection and tests.
+func (m *LogReg) Weight(name string) float64 { return m.weights[name] }
+
+// LogRegTrainer adapts TrainLogReg to the Trainer type.
+func LogRegTrainer(cfg LogRegConfig) Trainer {
+	return func(examples []Example) Classifier {
+		return TrainLogReg(examples, cfg)
+	}
+}

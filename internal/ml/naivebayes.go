@@ -1,0 +1,123 @@
+package ml
+
+import "math"
+
+// NaiveBayes is a multinomial naive Bayes binary classifier with Laplace
+// smoothing. Feature values act as occurrence counts; use Binarize or
+// Discretize to feed it presence features.
+type NaiveBayes struct {
+	logPriorPos, logPriorNeg float64
+	likePos, likeNeg         map[string]float64 // log P(feature|class)
+	defaultPos, defaultNeg   float64            // smoothed log prob for unseen features
+}
+
+// TrainNaiveBayes fits a multinomial NB model.
+func TrainNaiveBayes(examples []Example) *NaiveBayes {
+	nb := &NaiveBayes{
+		likePos: make(map[string]float64),
+		likeNeg: make(map[string]float64),
+	}
+	var nPos, nNeg float64
+	countPos := map[string]float64{}
+	countNeg := map[string]float64{}
+	var totPos, totNeg float64
+	for _, ex := range examples {
+		if ex.Label {
+			nPos++
+		} else {
+			nNeg++
+		}
+		for name, v := range ex.Features {
+			if v <= 0 {
+				continue
+			}
+			if ex.Label {
+				countPos[name] += v
+				totPos += v
+			} else {
+				countNeg[name] += v
+				totNeg += v
+			}
+		}
+	}
+	total := nPos + nNeg
+	if total == 0 {
+		total = 1
+	}
+	nb.logPriorPos = math.Log((nPos + 1) / (total + 2))
+	nb.logPriorNeg = math.Log((nNeg + 1) / (total + 2))
+
+	vocab := map[string]bool{}
+	for name := range countPos {
+		vocab[name] = true
+	}
+	for name := range countNeg {
+		vocab[name] = true
+	}
+	v := float64(len(vocab))
+	if v == 0 {
+		v = 1
+	}
+	for name := range vocab {
+		nb.likePos[name] = math.Log((countPos[name] + 1) / (totPos + v))
+		nb.likeNeg[name] = math.Log((countNeg[name] + 1) / (totNeg + v))
+	}
+	nb.defaultPos = math.Log(1 / (totPos + v))
+	nb.defaultNeg = math.Log(1 / (totNeg + v))
+	return nb
+}
+
+// PredictProb implements Classifier.
+func (nb *NaiveBayes) PredictProb(f Features) float64 {
+	lp, ln := nb.logPriorPos, nb.logPriorNeg
+	for name, v := range f {
+		if v <= 0 {
+			continue
+		}
+		if w, ok := nb.likePos[name]; ok {
+			lp += v * w
+		} else {
+			lp += v * nb.defaultPos
+		}
+		if w, ok := nb.likeNeg[name]; ok {
+			ln += v * w
+		} else {
+			ln += v * nb.defaultNeg
+		}
+	}
+	// Convert log-odds to probability, guarding overflow.
+	d := ln - lp
+	switch {
+	case d > 500:
+		return 0
+	case d < -500:
+		return 1
+	default:
+		return 1 / (1 + math.Exp(d))
+	}
+}
+
+// NaiveBayesTrainer adapts TrainNaiveBayes to the Trainer type, binarizing
+// and discretizing inputs with the given bin count (0 uses raw features).
+func NaiveBayesTrainer(bins int) Trainer {
+	return func(examples []Example) Classifier {
+		if bins > 0 {
+			prepared := make([]Example, len(examples))
+			for i, ex := range examples {
+				prepared[i] = Example{Features: Discretize(ex.Features, bins), Label: ex.Label}
+			}
+			inner := TrainNaiveBayes(prepared)
+			return discretizingClassifier{inner: inner, bins: bins}
+		}
+		return TrainNaiveBayes(examples)
+	}
+}
+
+type discretizingClassifier struct {
+	inner Classifier
+	bins  int
+}
+
+func (d discretizingClassifier) PredictProb(f Features) float64 {
+	return d.inner.PredictProb(Discretize(f, d.bins))
+}

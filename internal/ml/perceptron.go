@@ -1,0 +1,121 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Perceptron is an averaged perceptron binary classifier: the final weights
+// are the average over all updates, which stabilizes the online algorithm.
+type Perceptron struct {
+	weights map[string]float64
+	bias    float64
+	// margin normalization for PredictProb calibration
+	scale float64
+}
+
+// TrainPerceptron fits an averaged perceptron for the given number of
+// epochs (default 20 when <= 0), shuffling with seed.
+func TrainPerceptron(examples []Example, epochs int, seed int64) *Perceptron {
+	if epochs <= 0 {
+		epochs = 20
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	w := map[string]float64{}
+	acc := map[string]float64{}
+	var bias, accBias float64
+	count := 1.0
+
+	feats := make([][]featPair, len(examples))
+	for i, ex := range examples {
+		feats[i] = sortedFeatures(ex.Features)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			score := bias
+			for _, fp := range feats[idx] {
+				score += w[fp.name] * fp.val
+			}
+			y := -1.0
+			if examples[idx].Label {
+				y = 1
+			}
+			if y*score <= 0 {
+				for _, fp := range feats[idx] {
+					w[fp.name] += y * fp.val
+					acc[fp.name] += count * y * fp.val
+				}
+				bias += y
+				accBias += count * y
+			}
+			count++
+		}
+	}
+	avg := make(map[string]float64, len(w))
+	var maxAbs float64
+	for name, wv := range w {
+		a := wv - acc[name]/count
+		avg[name] = a
+		if x := a; x < 0 {
+			x = -x
+		}
+	}
+	avgBias := bias - accBias/count
+	for _, a := range avg {
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs * 8
+	if scale == 0 {
+		scale = 1
+	}
+	return &Perceptron{weights: avg, bias: avgBias, scale: scale}
+}
+
+// PredictProb implements Classifier: the margin squashed through a logistic
+// link scaled by the weight magnitude (a calibration heuristic; Predict's
+// 0.5 threshold corresponds to the sign of the margin).
+func (p *Perceptron) PredictProb(f Features) float64 {
+	score := p.bias
+	for name, v := range f {
+		score += p.weights[name] * v
+	}
+	z := score / p.scale * 8
+	switch {
+	case z > 35:
+		return 1
+	case z < -35:
+		return 0
+	default:
+		return sigmoid(z)
+	}
+}
+
+func sigmoid(z float64) float64 {
+	// Numerically-stable logistic.
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// PerceptronTrainer adapts TrainPerceptron to the Trainer type.
+func PerceptronTrainer(epochs int, seed int64) Trainer {
+	return func(examples []Example) Classifier {
+		return TrainPerceptron(examples, epochs, seed)
+	}
+}

@@ -1,0 +1,87 @@
+package ml
+
+import "sort"
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// F1 of the operating point.
+func (p PRPoint) F1() float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// PRCurve sweeps the decision threshold over the classifier's scores on the
+// examples, returning one point per distinct score (descending threshold).
+// It is how the dedup matcher's Threshold is chosen: pick the point whose
+// precision/recall trade-off fits the curation budget.
+func PRCurve(c Classifier, examples []Example) []PRPoint {
+	type scored struct {
+		prob  float64
+		label bool
+	}
+	items := make([]scored, len(examples))
+	positives := 0
+	for i, ex := range examples {
+		items[i] = scored{prob: c.PredictProb(ex.Features), label: ex.Label}
+		if ex.Label {
+			positives++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].prob > items[j].prob })
+
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		threshold := items[i].prob
+		// Consume all items at this score so each threshold is a valid
+		// operating point.
+		for i < len(items) && items[i].prob == threshold {
+			if items[i].label {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		precision := 1.0
+		if tp+fp > 0 {
+			precision = float64(tp) / float64(tp+fp)
+		}
+		recall := 1.0
+		if positives > 0 {
+			recall = float64(tp) / float64(positives)
+		}
+		out = append(out, PRPoint{Threshold: threshold, Precision: precision, Recall: recall})
+	}
+	return out
+}
+
+// BestF1 returns the curve point with the highest F1 (the latest such point
+// when tied), or a zero point for an empty curve.
+func BestF1(curve []PRPoint) PRPoint {
+	var best PRPoint
+	for _, p := range curve {
+		if p.F1() >= best.F1() {
+			best = p
+		}
+	}
+	return best
+}
+
+// AveragePrecision computes AP: the precision integrated over recall steps
+// — the single-number summary of a PR curve.
+func AveragePrecision(curve []PRPoint) float64 {
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += p.Precision * (p.Recall - prevRecall)
+		prevRecall = p.Recall
+	}
+	return ap
+}

@@ -1,0 +1,292 @@
+// Package record defines the flat data model shared by every Data Tamer
+// module: typed values, flat records, and schemas-by-example. Structured
+// sources (CSV, JSON), flattened semi-structured documents, and parsed text
+// entities all normalize into Record before integration.
+package record
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the primitive types a Value may hold.
+type Kind int
+
+// The supported value kinds, roughly the scalar types of the paper's
+// internal RDBMS.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindTime
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is an immutable typed scalar. The zero Value is Null.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+	t    time.Time
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Time returns a timestamp value.
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload; for non-string kinds it returns the
+// canonical textual rendering.
+func (v Value) Str() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	default:
+		return v.String()
+	}
+}
+
+// AsInt returns the value as an int64 and whether the conversion is exact.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			return int64(v.f), true
+		}
+		return 0, false
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		return i, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat returns the value as a float64 and whether a numeric reading exists.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsBool returns the value as a bool and whether a boolean reading exists.
+func (v Value) AsBool() (bool, bool) {
+	switch v.kind {
+	case KindBool:
+		return v.b, true
+	case KindInt:
+		return v.i != 0, true
+	case KindString:
+		b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(v.s)))
+		return b, err == nil
+	default:
+		return false, false
+	}
+}
+
+// AsTime returns the value as a time.Time and whether a temporal reading
+// exists. Strings are parsed with ParseTime.
+func (v Value) AsTime() (time.Time, bool) {
+	switch v.kind {
+	case KindTime:
+		return v.t, true
+	case KindString:
+		t, err := ParseTime(v.s)
+		return t, err == nil
+	default:
+		return time.Time{}, false
+	}
+}
+
+// String renders the value for display: strings verbatim, numbers in their
+// shortest form, times in RFC 3339 date or datetime form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTime:
+		if v.t.Hour() == 0 && v.t.Minute() == 0 && v.t.Second() == 0 {
+			return v.t.Format("2006-01-02")
+		}
+		return v.t.Format(time.RFC3339)
+	default:
+		return ""
+	}
+}
+
+// Equal reports deep equality of two values. Numeric kinds compare by value,
+// so Int(3) equals Float(3).
+func (v Value) Equal(o Value) bool { return Compare(v, o) == 0 }
+
+// Compare orders two values. Nulls sort first; mixed numeric kinds compare
+// numerically; otherwise kinds order by Kind, then payload.
+func Compare(a, b Value) int {
+	an, bn := a.numeric(), b.numeric()
+	if an && bn {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1
+		case a.t.After(b.t):
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// timeLayouts lists the textual date/time formats recognized by ParseTime,
+// including the US-style forms that appear in the Broadway FTABLES sources.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"1/2/2006",
+	"01/02/2006",
+	"Jan 2, 2006",
+	"January 2, 2006",
+	"2 Jan 2006",
+}
+
+// ParseTime parses s against the supported layouts.
+func ParseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("record: unrecognized time %q", s)
+}
+
+// Infer parses s into the most specific Value: empty → Null, then int,
+// float, bool, time, falling back to String.
+func Infer(s string) Value {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return Null
+	}
+	if i, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return Float(f)
+	}
+	switch strings.ToLower(trimmed) {
+	case "true", "false":
+		b, _ := strconv.ParseBool(strings.ToLower(trimmed))
+		return Bool(b)
+	}
+	if t, err := ParseTime(trimmed); err == nil {
+		return Time(t)
+	}
+	return String(s)
+}

@@ -1,0 +1,198 @@
+// Package schema models Data Tamer's bottom-up global schema: the integrated
+// attribute set built from incoming source metadata, the per-source
+// attribute mappings, and the add/ignore actions of the Fig. 2 workflow.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ingest"
+	"repro/internal/record"
+)
+
+// Attribute is one attribute of a schema, with the value evidence the
+// matchers score against.
+type Attribute struct {
+	Name    string
+	Kind    record.Kind
+	Samples []string // up to sampleCap distinct sample values
+	Sources []string // sources that mapped into this attribute
+}
+
+const sampleCap = 64
+
+// SourceSchema is the attribute profile of one incoming source.
+type SourceSchema struct {
+	Source string
+	Attrs  []*Attribute
+}
+
+// FromSource profiles a registered source into a SourceSchema.
+func FromSource(s *ingest.Source) *SourceSchema {
+	ss := &SourceSchema{Source: s.Name}
+	for _, name := range s.Attributes() {
+		attr := &Attribute{
+			Name:    name,
+			Kind:    s.AttributeType(name),
+			Sources: []string{s.Name},
+		}
+		seen := map[string]bool{}
+		for _, v := range s.Values(name) {
+			sv := v.Str()
+			if seen[sv] || len(attr.Samples) >= sampleCap {
+				continue
+			}
+			seen[sv] = true
+			attr.Samples = append(attr.Samples, sv)
+		}
+		ss.Attrs = append(ss.Attrs, attr)
+	}
+	return ss
+}
+
+// Global is the integrated global schema, built bottom-up from source
+// metadata as the paper describes. The zero value is not usable; call
+// NewGlobal.
+type Global struct {
+	attrs    []*Attribute
+	byName   map[string]*Attribute // normalized name -> attribute
+	mappings []Mapping
+	ignored  map[string]bool // normalized "source\x00attr" pairs marked ignore
+}
+
+// Mapping records that a source attribute maps onto a global attribute.
+type Mapping struct {
+	Source     string
+	SourceAttr string
+	GlobalAttr string
+	Score      float64 // the match score accepted (1.0 for manual adds)
+}
+
+// NewGlobal returns an empty global schema.
+func NewGlobal() *Global {
+	return &Global{byName: make(map[string]*Attribute), ignored: make(map[string]bool)}
+}
+
+// Len reports the number of global attributes.
+func (g *Global) Len() int { return len(g.attrs) }
+
+// Attributes returns the global attributes in creation order.
+func (g *Global) Attributes() []*Attribute { return g.attrs }
+
+// Attribute looks up a global attribute by (normalized) name.
+func (g *Global) Attribute(name string) (*Attribute, bool) {
+	a, ok := g.byName[record.NormalizeName(name)]
+	return a, ok
+}
+
+// AddAttribute creates a new global attribute from a source attribute — the
+// "add to the global schema" action of Fig. 2. It returns the existing
+// attribute when the name is already present.
+func (g *Global) AddAttribute(src *Attribute, source string) *Attribute {
+	key := record.NormalizeName(src.Name)
+	if a, ok := g.byName[key]; ok {
+		g.mergeInto(a, src, source)
+		return a
+	}
+	a := &Attribute{
+		Name:    strings.ToUpper(key),
+		Kind:    src.Kind,
+		Samples: append([]string(nil), src.Samples...),
+		Sources: []string{source},
+	}
+	g.byName[key] = a
+	g.attrs = append(g.attrs, a)
+	g.mappings = append(g.mappings, Mapping{
+		Source: source, SourceAttr: src.Name, GlobalAttr: a.Name, Score: 1,
+	})
+	return a
+}
+
+// MapAttribute records that a source attribute matches an existing global
+// attribute with the given score, merging its value evidence.
+func (g *Global) MapAttribute(src *Attribute, source string, global *Attribute, score float64) error {
+	if _, ok := g.byName[record.NormalizeName(global.Name)]; !ok {
+		return fmt.Errorf("schema: global attribute %q not in schema", global.Name)
+	}
+	g.mergeInto(global, src, source)
+	g.mappings = append(g.mappings, Mapping{
+		Source: source, SourceAttr: src.Name, GlobalAttr: global.Name, Score: score,
+	})
+	return nil
+}
+
+// Ignore marks a source attribute as deliberately unmapped — Fig. 2's
+// "ignore" action.
+func (g *Global) Ignore(source, attr string) {
+	g.ignored[source+"\x00"+record.NormalizeName(attr)] = true
+}
+
+// IsIgnored reports whether the source attribute was marked ignore.
+func (g *Global) IsIgnored(source, attr string) bool {
+	return g.ignored[source+"\x00"+record.NormalizeName(attr)]
+}
+
+func (g *Global) mergeInto(dst, src *Attribute, source string) {
+	seen := map[string]bool{}
+	for _, s := range dst.Samples {
+		seen[s] = true
+	}
+	for _, s := range src.Samples {
+		if !seen[s] && len(dst.Samples) < sampleCap {
+			seen[s] = true
+			dst.Samples = append(dst.Samples, s)
+		}
+	}
+	for _, got := range dst.Sources {
+		if got == source {
+			return
+		}
+	}
+	dst.Sources = append(dst.Sources, source)
+}
+
+// Mappings returns all recorded mappings in acceptance order.
+func (g *Global) Mappings() []Mapping { return g.mappings }
+
+// MappingFor returns the global attribute a source attribute maps to.
+func (g *Global) MappingFor(source, attr string) (string, bool) {
+	norm := record.NormalizeName(attr)
+	for _, m := range g.mappings {
+		if m.Source == source && record.NormalizeName(m.SourceAttr) == norm {
+			return m.GlobalAttr, true
+		}
+	}
+	return "", false
+}
+
+// Translate rewrites a record's field names into global attribute names
+// using the recorded mappings for its source. Unmapped, un-ignored fields
+// keep their original names.
+func (g *Global) Translate(r *record.Record) *record.Record {
+	out := record.New()
+	out.Source = r.Source
+	out.ID = r.ID
+	for _, f := range r.Fields() {
+		if g.IsIgnored(r.Source, f.Name) {
+			continue
+		}
+		if global, ok := g.MappingFor(r.Source, f.Name); ok {
+			out.Set(global, f.Value)
+			continue
+		}
+		out.Set(f.Name, f.Value)
+	}
+	return out
+}
+
+// String summarizes the global schema.
+func (g *Global) String() string {
+	names := make([]string, len(g.attrs))
+	for i, a := range g.attrs {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return "global{" + strings.Join(names, ", ") + "}"
+}

@@ -1,0 +1,143 @@
+// Package serve exposes a fused pipeline over HTTP with JSON endpoints —
+// the integration surface a deployment of this system would offer:
+//
+//	GET /stats                  Tables I-II store statistics
+//	GET /types                  Table III type distribution
+//	GET /top?k=10               Table IV discussion ranking
+//	GET /show?name=Matilda      Table V (web text) and Table VI (fused) views
+//	GET /find?q=expr&limit=10   filter-language query over the entity store
+//	GET /cheapest?k=5           best-price ranking over the fused table
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+// Server wraps a completed pipeline run.
+type Server struct {
+	tamer *core.Tamer
+	mux   *http.ServeMux
+}
+
+// New builds a server over an already-Run pipeline.
+func New(t *core.Tamer) *Server {
+	s := &Server{tamer: t, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /types", s.handleTypes)
+	s.mux.HandleFunc("GET /top", s.handleTop)
+	s.mux.HandleFunc("GET /show", s.handleShow)
+	s.mux.HandleFunc("GET /find", s.handleFind)
+	s.mux.HandleFunc("GET /cheapest", s.handleCheapest)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]store.Stats{
+		"instance": s.tamer.InstanceStats(),
+		"entity":   s.tamer.EntityStats(),
+	})
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tamer.EntityTypeCounts())
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.tamer.TopDiscussed(intParam(r, "k", 10)))
+}
+
+// showView is the JSON rendering of the Table V / Table VI records.
+type showView struct {
+	WebText map[string]string `json:"web_text"`
+	Fused   map[string]string `json:"fused"`
+}
+
+func recordMap(rec *record.Record) map[string]string {
+	out := make(map[string]string, rec.Len())
+	for _, f := range rec.Fields() {
+		if !f.Value.IsNull() {
+			out[f.Name] = f.Value.Str()
+		}
+	}
+	return out
+}
+
+func (s *Server) handleShow(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing name parameter")
+		return
+	}
+	writeJSON(w, http.StatusOK, showView{
+		WebText: recordMap(s.tamer.QueryWebText(name)),
+		Fused:   recordMap(s.tamer.QueryFused(name)),
+	})
+}
+
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	filter, err := store.ParseFilter(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := intParam(r, "limit", 10)
+	docs := s.tamer.Entities.Find(filter)
+	total := len(docs)
+	if len(docs) > limit {
+		docs = docs[:limit]
+	}
+	out := make([]map[string]string, len(docs))
+	for i, d := range docs {
+		m := map[string]string{}
+		for _, fieldName := range d.Names() {
+			v, _ := d.Get(fieldName)
+			if v.IsScalar() {
+				m[fieldName] = v.Scalar().Str()
+			}
+		}
+		out[i] = m
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "entities": out})
+}
+
+func (s *Server) handleCheapest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.tamer.CheapestShows(intParam(r, "k", 5)))
+}

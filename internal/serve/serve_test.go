@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *Server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		tm := core.New(core.Config{Fragments: 300, FTSources: 5, Seed: 6})
+		if srvErr = tm.Run(); srvErr == nil {
+			srv = New(tm)
+		}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			body = nil
+		}
+	}
+	return rec, body
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	inst, ok := body["instance"].(map[string]any)
+	if !ok {
+		t.Fatalf("body = %v", body)
+	}
+	if inst["Count"].(float64) != 300 {
+		t.Errorf("instance count = %v", inst["Count"])
+	}
+	ent := body["entity"].(map[string]any)
+	if ent["NIndexes"].(float64) != 8 {
+		t.Errorf("entity indexes = %v", ent["NIndexes"])
+	}
+}
+
+func TestTypesEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/types", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Errorf("type rows = %d", len(rows))
+	}
+}
+
+func TestTopEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/top?k=3", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("top rows = %d", len(rows))
+	}
+}
+
+func TestShowEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/show?name=Matilda")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	web := body["web_text"].(map[string]any)
+	fused := body["fused"].(map[string]any)
+	if web["SHOW_NAME"] != "Matilda" {
+		t.Errorf("web view = %v", web)
+	}
+	if _, ok := web["THEATER"]; ok {
+		t.Error("web view should not carry THEATER")
+	}
+	if fused["THEATER"] == "" || fused["CHEAPEST_PRICE"] != "$27" {
+		t.Errorf("fused view = %v", fused)
+	}
+}
+
+func TestShowEndpointMissingName(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/show")
+	if rec.Code != http.StatusBadRequest || body["error"] == "" {
+		t.Errorf("status = %d body = %v", rec.Code, body)
+	}
+}
+
+func TestFindEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/find?q="+strings.ReplaceAll("type = Movie AND name ~ walking", " ", "%20")+"&limit=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	total := int(body["total"].(float64))
+	entities := body["entities"].([]any)
+	if total < 2 || len(entities) != 2 {
+		t.Errorf("total = %d shown = %d", total, len(entities))
+	}
+}
+
+func TestFindEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/find")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/find?q=%3D%3D%3D")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad expr status = %d", rec.Code)
+	}
+}
+
+func TestCheapestEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/cheapest?k=2", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("cheapest rows = %d", len(rows))
+	}
+	if rows[0]["Price"].(float64) > rows[1]["Price"].(float64) {
+		t.Errorf("not sorted ascending: %v", rows)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/stats", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", rec.Code)
+	}
+}
+
+func TestBadIntParamFallsBack(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/top?k=banana", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 10 {
+		t.Errorf("fallback k rows = %d", len(rows))
+	}
+}

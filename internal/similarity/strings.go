@@ -1,0 +1,189 @@
+// Package similarity implements the string- and set-similarity measures the
+// schema matcher and entity consolidator score with: edit distances, Jaro /
+// Jaro-Winkler, token-set coefficients, character n-gram similarity, TF-IDF
+// cosine, and the Monge-Elkan hybrid.
+//
+// All similarity functions return values in [0, 1] where 1 means identical.
+package similarity
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// Levenshtein returns the edit distance between a and b (insertions,
+// deletions, substitutions).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshtein returns the edit distance allowing adjacent
+// transposition as a single operation (restricted Damerau-Levenshtein).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d[i-2][j-2] + 1; t < d[i][j] {
+					d[i][j] = t
+				}
+			}
+		}
+	}
+	return d[la][lb]
+}
+
+// LevenshteinSim normalizes Levenshtein distance into a similarity:
+// 1 - dist/max(len). Two empty strings are identical (1).
+func LevenshteinSim(a, b string) float64 {
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix of
+// up to 4 runes, with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// TrigramSim is the Jaccard coefficient over character trigrams of the
+// normalized inputs; short strings fall back to LevenshteinSim.
+func TrigramSim(a, b string) float64 {
+	if utf8.RuneCountInString(a) < 3 || utf8.RuneCountInString(b) < 3 {
+		return LevenshteinSim(strings.ToLower(a), strings.ToLower(b))
+	}
+	return JaccardStrings(charTrigrams(a), charTrigrams(b))
+}
+
+func charTrigrams(s string) []string {
+	s = strings.ToLower(s)
+	runes := []rune(s)
+	out := make([]string, 0, len(runes))
+	for i := 0; i+3 <= len(runes); i++ {
+		out = append(out, string(runes[i:i+3]))
+	}
+	return out
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

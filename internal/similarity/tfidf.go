@@ -1,0 +1,115 @@
+package similarity
+
+import "math"
+
+// Corpus accumulates document frequencies so term vectors can be weighted by
+// TF-IDF. The zero value is not usable; call NewCorpus.
+type Corpus struct {
+	docCount int
+	docFreq  map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// AddDoc registers one document's distinct terms.
+func (c *Corpus) AddDoc(terms []string) {
+	c.docCount++
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			c.docFreq[t]++
+		}
+	}
+}
+
+// DocCount reports how many documents have been added.
+func (c *Corpus) DocCount() int { return c.docCount }
+
+// IDF returns the smoothed inverse document frequency of term:
+// ln(1 + N / (1 + df)).
+func (c *Corpus) IDF(term string) float64 {
+	return math.Log(1 + float64(c.docCount)/float64(1+c.docFreq[term]))
+}
+
+// Vector builds the TF-IDF vector of terms under this corpus.
+func (c *Corpus) Vector(terms []string) map[string]float64 {
+	tf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	for t, f := range tf {
+		tf[t] = f * c.IDF(t)
+	}
+	return tf
+}
+
+// Cosine returns the cosine similarity of two sparse vectors.
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var dot, na, nb float64
+	for t, w := range a {
+		na += w * w
+		if w2, ok := b[t]; ok {
+			dot += w * w2
+		}
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TFIDFCosine is the cosine of the two term lists' TF-IDF vectors under the
+// corpus.
+func (c *Corpus) TFIDFCosine(a, b []string) float64 {
+	return Cosine(c.Vector(a), c.Vector(b))
+}
+
+// SoftTFIDF computes the Cohen et al. SoftTFIDF measure: TF-IDF cosine where
+// terms match softly when inner(x, y) >= theta, taking the best-matching
+// partner's weight.
+func (c *Corpus) SoftTFIDF(a, b []string, inner func(x, y string) float64, theta float64) float64 {
+	va, vb := c.Vector(a), c.Vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 1
+	}
+	var na, nb float64
+	for _, w := range va {
+		na += w * w
+	}
+	for _, w := range vb {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var dot float64
+	for x, wx := range va {
+		bestSim, bestW := 0.0, 0.0
+		for y, wy := range vb {
+			if s := inner(x, y); s >= theta && s > bestSim {
+				bestSim, bestW = s, wy
+			}
+		}
+		if bestSim > 0 {
+			dot += wx * bestW * bestSim
+		}
+	}
+	score := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if score > 1 {
+		score = 1
+	}
+	return score
+}

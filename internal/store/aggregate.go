@@ -1,0 +1,176 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Aggregation: a small group-by pipeline over collections and sharded
+// namespaces — the machinery behind the Table III group-by-type query and
+// the Table IV mention ranking.
+
+// GroupRow is one output row of a group-by aggregation.
+type GroupRow struct {
+	Key   string
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Avg returns Sum/Count (0 when empty).
+func (g GroupRow) Avg() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return g.Sum / float64(g.Count)
+}
+
+// GroupBy groups documents matching filter by the scalar string at keyPath,
+// aggregating the numeric value at valPath (pass "" to count only).
+// Rows are sorted by descending count, then key.
+type GroupBy struct {
+	Filter  Filter
+	KeyPath string
+	ValPath string
+}
+
+type groupAccum struct {
+	rows map[string]*GroupRow
+}
+
+func newGroupAccum() *groupAccum { return &groupAccum{rows: make(map[string]*GroupRow)} }
+
+func (a *groupAccum) observe(g GroupBy, d *Doc) {
+	if g.Filter != nil && !g.Filter.Matches(d) {
+		return
+	}
+	kv, ok := d.Path(g.KeyPath)
+	if !ok || !kv.IsScalar() || kv.Scalar().IsNull() {
+		return
+	}
+	key := kv.Scalar().Str()
+	row, ok := a.rows[key]
+	if !ok {
+		row = &GroupRow{Key: key}
+		a.rows[key] = row
+	}
+	row.Count++
+	if g.ValPath == "" {
+		return
+	}
+	vv, ok := d.Path(g.ValPath)
+	if !ok || !vv.IsScalar() {
+		return
+	}
+	f, ok := vv.Scalar().AsFloat()
+	if !ok {
+		return
+	}
+	if row.Count == 1 || f < row.Min {
+		row.Min = f
+	}
+	if row.Count == 1 || f > row.Max {
+		row.Max = f
+	}
+	row.Sum += f
+}
+
+func (a *groupAccum) sorted() []GroupRow {
+	out := make([]GroupRow, 0, len(a.rows))
+	for _, r := range a.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Aggregate runs the group-by over a collection.
+func (c *Collection) Aggregate(g GroupBy) []GroupRow {
+	acc := newGroupAccum()
+	c.Scan(func(_ int64, d *Doc) bool {
+		acc.observe(g, d)
+		return true
+	})
+	return acc.sorted()
+}
+
+// Aggregate runs the group-by across every shard, merging partial rows the
+// way a router would.
+func (s *Sharded) Aggregate(g GroupBy) []GroupRow {
+	acc := newGroupAccum()
+	s.Scan(func(_ int, _ int64, d *Doc) bool {
+		acc.observe(g, d)
+		return true
+	})
+	return acc.sorted()
+}
+
+// TopK returns the first k rows of the aggregation (all rows when k <= 0).
+func TopK(rows []GroupRow, k int) []GroupRow {
+	if k > 0 && len(rows) > k {
+		return rows[:k]
+	}
+	return rows
+}
+
+// CountBy is shorthand for a count-only group-by over all documents.
+func (c *Collection) CountBy(keyPath string) []GroupRow {
+	return c.Aggregate(GroupBy{KeyPath: keyPath})
+}
+
+// CountBy is shorthand for a count-only group-by across shards.
+func (s *Sharded) CountBy(keyPath string) []GroupRow {
+	return s.Aggregate(GroupBy{KeyPath: keyPath})
+}
+
+// ValueHistogram buckets the numeric values at path into n equal-width bins
+// between the observed min and max, returning bin counts. Non-numeric and
+// missing values are skipped. It returns nil when fewer than two distinct
+// numeric values exist.
+func (c *Collection) ValueHistogram(path string, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	var vals []float64
+	c.Scan(func(_ int64, d *Doc) bool {
+		v, ok := d.Path(path)
+		if ok && v.IsScalar() {
+			if f, ok := v.Scalar().AsFloat(); ok && v.Scalar().Kind() != record.KindString {
+				vals = append(vals, f)
+			}
+		}
+		return true
+	})
+	if len(vals) < 2 {
+		return nil
+	}
+	lo, hi := vals[0], vals[0]
+	for _, f := range vals[1:] {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi == lo {
+		return nil
+	}
+	bins := make([]int64, n)
+	width := (hi - lo) / float64(n)
+	for _, f := range vals {
+		b := int((f - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		bins[b]++
+	}
+	return bins
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func buildAggCollection() *Collection {
+	c := Open("dt", 0).Collection("entity")
+	for i := 0; i < 30; i++ {
+		typ := "Person"
+		if i%3 == 0 {
+			typ = "Movie"
+		}
+		c.Insert(NewDoc().
+			Set("type", Str(typ)).
+			Set("name", Str(fmt.Sprintf("e%02d", i))).
+			Set("mentions", Num(int64(i))))
+	}
+	return c
+}
+
+func TestAggregateCountBy(t *testing.T) {
+	c := buildAggCollection()
+	rows := c.CountBy("type")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Key != "Person" || rows[0].Count != 20 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Key != "Movie" || rows[1].Count != 10 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+}
+
+func TestAggregateSumMinMaxAvg(t *testing.T) {
+	c := buildAggCollection()
+	rows := c.Aggregate(GroupBy{KeyPath: "type", ValPath: "mentions"})
+	var movie GroupRow
+	for _, r := range rows {
+		if r.Key == "Movie" {
+			movie = r
+		}
+	}
+	// Movie rows: i = 0,3,...,27 -> sum 135, min 0, max 27, avg 13.5.
+	if movie.Sum != 135 || movie.Min != 0 || movie.Max != 27 {
+		t.Errorf("movie = %+v", movie)
+	}
+	if movie.Avg() != 13.5 {
+		t.Errorf("avg = %f", movie.Avg())
+	}
+	if (GroupRow{}).Avg() != 0 {
+		t.Error("empty avg should be 0")
+	}
+}
+
+func TestAggregateWithFilter(t *testing.T) {
+	c := buildAggCollection()
+	rows := c.Aggregate(GroupBy{
+		Filter:  Cond{Path: "mentions", Op: OpGe, Value: record.Int(15)},
+		KeyPath: "type",
+	})
+	total := int64(0)
+	for _, r := range rows {
+		total += r.Count
+	}
+	if total != 15 {
+		t.Errorf("filtered total = %d", total)
+	}
+}
+
+func TestShardedAggregate(t *testing.T) {
+	s := NewSharded("dt.entity", "name", 3, 0)
+	for i := 0; i < 60; i++ {
+		typ := "A"
+		if i%2 == 0 {
+			typ = "B"
+		}
+		s.Insert(NewDoc().Set("type", Str(typ)).Set("name", Str(fmt.Sprintf("n%02d", i))))
+	}
+	rows := s.CountBy("type")
+	if len(rows) != 2 || rows[0].Count != 30 || rows[1].Count != 30 {
+		t.Errorf("sharded rows = %+v", rows)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rows := []GroupRow{{Key: "a", Count: 3}, {Key: "b", Count: 2}, {Key: "c", Count: 1}}
+	if got := TopK(rows, 2); len(got) != 2 || got[0].Key != "a" {
+		t.Errorf("topk = %+v", got)
+	}
+	if got := TopK(rows, 0); len(got) != 3 {
+		t.Errorf("k=0 = %+v", got)
+	}
+	if got := TopK(rows, 99); len(got) != 3 {
+		t.Errorf("k>len = %+v", got)
+	}
+}
+
+func TestValueHistogram(t *testing.T) {
+	c := Open("dt", 0).Collection("x")
+	for i := 0; i < 100; i++ {
+		c.Insert(NewDoc().Set("v", Num(int64(i))))
+	}
+	bins := c.ValueHistogram("v", 4)
+	if len(bins) != 4 {
+		t.Fatalf("bins = %v", bins)
+	}
+	var total int64
+	for _, b := range bins {
+		total += b
+		if b < 20 || b > 30 {
+			t.Errorf("skewed bin in uniform data: %v", bins)
+		}
+	}
+	if total != 100 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestValueHistogramDegenerate(t *testing.T) {
+	c := Open("dt", 0).Collection("x")
+	c.Insert(NewDoc().Set("v", Num(5)))
+	if got := c.ValueHistogram("v", 4); got != nil {
+		t.Errorf("single value hist = %v", got)
+	}
+	c.Insert(NewDoc().Set("v", Num(5)))
+	if got := c.ValueHistogram("v", 4); got != nil {
+		t.Errorf("constant hist = %v", got)
+	}
+	// String values are skipped even when numeric-looking via AsFloat.
+	c2 := Open("dt", 0).Collection("y")
+	c2.Insert(NewDoc().Set("v", Str("1")))
+	c2.Insert(NewDoc().Set("v", Str("2")))
+	if got := c2.ValueHistogram("v", 2); got != nil {
+		t.Errorf("string hist = %v", got)
+	}
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/record"
+)
+
+// Binary document codec: a compact, self-describing encoding used by the
+// persistence layer (snapshots and journals). The format is
+// length-prefixed throughout so readers can skip or validate frames.
+//
+//	value  := kind(1) payload
+//	doc    := uvarint(nfields) { uvarint(len) name docvalue }*
+//	docval := tag(1) payload   (tag: 0 scalar, 1 nested doc, 2 list)
+
+const (
+	tagScalar byte = 0
+	tagNested byte = 1
+	tagList   byte = 2
+)
+
+const (
+	kindNull   byte = 0
+	kindString byte = 1
+	kindInt    byte = 2
+	kindFloat  byte = 3
+	kindBool   byte = 4
+	kindTime   byte = 5
+)
+
+// EncodeDoc serializes a document.
+func EncodeDoc(d *Doc) []byte {
+	var buf bytes.Buffer
+	writeDoc(&buf, d)
+	return buf.Bytes()
+}
+
+func writeDoc(buf *bytes.Buffer, d *Doc) {
+	writeUvarint(buf, uint64(d.Len()))
+	for _, name := range d.Names() {
+		v, _ := d.Get(name)
+		writeUvarint(buf, uint64(len(name)))
+		buf.WriteString(name)
+		writeDocValue(buf, v)
+	}
+}
+
+func writeDocValue(buf *bytes.Buffer, v DocValue) {
+	switch {
+	case v.IsDoc():
+		buf.WriteByte(tagNested)
+		writeDoc(buf, v.Doc())
+	case v.IsList():
+		buf.WriteByte(tagList)
+		writeUvarint(buf, uint64(len(v.List())))
+		for _, e := range v.List() {
+			writeDocValue(buf, e)
+		}
+	default:
+		buf.WriteByte(tagScalar)
+		writeScalar(buf, v.Scalar())
+	}
+}
+
+func writeScalar(buf *bytes.Buffer, v record.Value) {
+	switch v.Kind() {
+	case record.KindNull:
+		buf.WriteByte(kindNull)
+	case record.KindString:
+		buf.WriteByte(kindString)
+		s := v.Str()
+		writeUvarint(buf, uint64(len(s)))
+		buf.WriteString(s)
+	case record.KindInt:
+		buf.WriteByte(kindInt)
+		i, _ := v.AsInt()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		buf.Write(b[:])
+	case record.KindFloat:
+		buf.WriteByte(kindFloat)
+		f, _ := v.AsFloat()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf.Write(b[:])
+	case record.KindBool:
+		buf.WriteByte(kindBool)
+		bv, _ := v.AsBool()
+		if bv {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	case record.KindTime:
+		buf.WriteByte(kindTime)
+		t, _ := v.AsTime()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(t.UnixNano()))
+		buf.Write(b[:])
+	}
+}
+
+func writeUvarint(buf *bytes.Buffer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	buf.Write(tmp[:n])
+}
+
+// DecodeDoc deserializes a document encoded by EncodeDoc.
+func DecodeDoc(data []byte) (*Doc, error) {
+	r := bytes.NewReader(data)
+	d, err := readDoc(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after document", r.Len())
+	}
+	return d, nil
+}
+
+func readDoc(r *bytes.Reader) (*Doc, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading field count: %w", err)
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("store: field count %d exceeds remaining bytes", n)
+	}
+	d := NewDoc()
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading field name: %w", err)
+		}
+		v, err := readDocValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading field %q: %w", name, err)
+		}
+		d.Set(name, v)
+	}
+	return d, nil
+}
+
+func readDocValue(r *bytes.Reader) (DocValue, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return DocValue{}, err
+	}
+	switch tag {
+	case tagScalar:
+		v, err := readScalar(r)
+		if err != nil {
+			return DocValue{}, err
+		}
+		return Scalar(v), nil
+	case tagNested:
+		d, err := readDoc(r)
+		if err != nil {
+			return DocValue{}, err
+		}
+		return Nested(d), nil
+	case tagList:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return DocValue{}, err
+		}
+		if n > uint64(r.Len()) {
+			return DocValue{}, fmt.Errorf("list length %d exceeds remaining bytes", n)
+		}
+		list := make([]DocValue, 0, n)
+		for i := uint64(0); i < n; i++ {
+			e, err := readDocValue(r)
+			if err != nil {
+				return DocValue{}, err
+			}
+			list = append(list, e)
+		}
+		return List(list...), nil
+	default:
+		return DocValue{}, fmt.Errorf("unknown docvalue tag %d", tag)
+	}
+}
+
+func readScalar(r *bytes.Reader) (record.Value, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return record.Null, err
+	}
+	switch kind {
+	case kindNull:
+		return record.Null, nil
+	case kindString:
+		s, err := readString(r)
+		if err != nil {
+			return record.Null, err
+		}
+		return record.String(s), nil
+	case kindInt:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return record.Null, err
+		}
+		return record.Int(int64(binary.LittleEndian.Uint64(b[:]))), nil
+	case kindFloat:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return record.Null, err
+		}
+		return record.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[:]))), nil
+	case kindBool:
+		bv, err := r.ReadByte()
+		if err != nil {
+			return record.Null, err
+		}
+		return record.Bool(bv != 0), nil
+	case kindTime:
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return record.Null, err
+		}
+		return record.Time(time.Unix(0, int64(binary.LittleEndian.Uint64(b[:]))).UTC()), nil
+	default:
+		return record.Null, fmt.Errorf("unknown scalar kind %d", kind)
+	}
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds remaining bytes", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

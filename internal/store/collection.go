@@ -1,0 +1,373 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultExtentSize mirrors the 2 GB extents of the paper's deployment.
+// Scaled-down runs configure smaller extents so the extent arithmetic in
+// stats() keeps the same shape.
+const DefaultExtentSize int64 = 2 << 30
+
+// extent tracks one allocation unit of collection storage.
+type extent struct {
+	capacity int64
+	used     int64
+}
+
+// Collection is a single namespace of documents with secondary indexes and
+// extent-based storage accounting. It is safe for concurrent use.
+type Collection struct {
+	mu sync.RWMutex
+
+	ns         string
+	extentSize int64
+
+	docs    map[int64]*Doc
+	order   []int64 // insertion order for full scans
+	nextID  int64
+	extents []extent
+	indexes map[string]*Index
+}
+
+func newCollection(ns string, extentSize int64) *Collection {
+	if extentSize <= 0 {
+		extentSize = DefaultExtentSize
+	}
+	return &Collection{
+		ns:         ns,
+		extentSize: extentSize,
+		docs:       make(map[int64]*Doc),
+		indexes:    make(map[string]*Index),
+		nextID:     1,
+	}
+}
+
+// NS returns the collection's namespace ("db.collection").
+func (c *Collection) NS() string { return c.ns }
+
+// Count reports the number of documents.
+func (c *Collection) Count() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int64(len(c.docs))
+}
+
+// Insert stores doc and returns its assigned id.
+func (c *Collection) Insert(doc *Doc) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	c.docs[id] = doc
+	c.order = append(c.order, id)
+	c.allocate(doc.SizeBytes())
+	for _, ix := range c.indexes {
+		ix.insert(id, doc)
+	}
+	return id
+}
+
+// InsertMany stores docs in order and returns their ids.
+func (c *Collection) InsertMany(docs []*Doc) []int64 {
+	ids := make([]int64, len(docs))
+	for i, d := range docs {
+		ids[i] = c.Insert(d)
+	}
+	return ids
+}
+
+// allocate charges n bytes against the extent chain, opening new extents as
+// the current one fills. Must hold c.mu.
+func (c *Collection) allocate(n int64) {
+	for n > 0 {
+		if len(c.extents) == 0 || c.extents[len(c.extents)-1].used >= c.extents[len(c.extents)-1].capacity {
+			c.extents = append(c.extents, extent{capacity: c.extentSize})
+		}
+		cur := &c.extents[len(c.extents)-1]
+		take := cur.capacity - cur.used
+		if take > n {
+			take = n
+		}
+		cur.used += take
+		n -= take
+	}
+}
+
+// Get returns the document with the given id.
+func (c *Collection) Get(id int64) (*Doc, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	return d, ok
+}
+
+// Update replaces the document stored under id, reindexing it. It reports
+// whether the id existed.
+func (c *Collection) Update(id int64, doc *Doc) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	for _, ix := range c.indexes {
+		ix.remove(id, old)
+	}
+	c.docs[id] = doc
+	delta := doc.SizeBytes() - old.SizeBytes()
+	if delta > 0 {
+		c.allocate(delta)
+	}
+	for _, ix := range c.indexes {
+		ix.insert(id, doc)
+	}
+	return true
+}
+
+// Delete removes the document with the given id, reporting whether it
+// existed. Extent space is not reclaimed (matching extent-based engines).
+func (c *Collection) Delete(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	for _, ix := range c.indexes {
+		ix.remove(id, doc)
+	}
+	delete(c.docs, id)
+	for i, got := range c.order {
+		if got == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// EnsureIndex creates a secondary index named name over path if it does not
+// already exist, backfilling existing documents.
+func (c *Collection) EnsureIndex(name, path string, kind IndexKind) *Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ix, ok := c.indexes[name]; ok {
+		return ix
+	}
+	ix := newIndex(name, path, kind)
+	for _, id := range c.order {
+		ix.insert(id, c.docs[id])
+	}
+	c.indexes[name] = ix
+	return ix
+}
+
+// Indexes returns the collection's indexes sorted by name.
+func (c *Collection) Indexes() []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// indexFor returns an index covering the given path, preferring B-tree when
+// rangeScan is required. Must hold c.mu (read).
+func (c *Collection) indexFor(path string, rangeScan bool) *Index {
+	var fallback *Index
+	for _, ix := range c.indexes {
+		if ix.Path != path {
+			continue
+		}
+		if ix.Kind == BTreeIndex {
+			return ix
+		}
+		if !rangeScan {
+			fallback = ix
+		}
+	}
+	return fallback
+}
+
+// Find returns the documents matching filter, using an index for the
+// top-level condition when one covers it and falling back to a full scan
+// otherwise. Results are in insertion (id) order for scans and index order
+// for indexed lookups.
+func (c *Collection) Find(filter Filter) []*Doc {
+	ids := c.FindIDs(filter)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	docs := make([]*Doc, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.docs[id]; ok {
+			docs = append(docs, d)
+		}
+	}
+	return docs
+}
+
+// FindIDs is Find returning document ids instead of documents.
+func (c *Collection) FindIDs(filter Filter) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ids, ok := c.tryIndexedLookup(filter); ok {
+		return ids
+	}
+	var ids []int64
+	for _, id := range c.order {
+		if filter == nil || filter.Matches(c.docs[id]) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// tryIndexedLookup serves Eq / Prefix / In conditions (and And filters whose
+// first indexable condition narrows the candidate set) from an index.
+func (c *Collection) tryIndexedLookup(filter Filter) ([]int64, bool) {
+	switch f := filter.(type) {
+	case Cond:
+		ids, ok := c.condFromIndex(f)
+		if !ok {
+			return nil, false
+		}
+		return ids, true
+	case And:
+		for _, child := range f {
+			cond, ok := child.(Cond)
+			if !ok {
+				continue
+			}
+			ids, ok := c.condFromIndex(cond)
+			if !ok {
+				continue
+			}
+			var out []int64
+			for _, id := range ids {
+				if f.Matches(c.docs[id]) {
+					out = append(out, id)
+				}
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+func (c *Collection) condFromIndex(cond Cond) ([]int64, bool) {
+	switch cond.Op {
+	case OpEq:
+		ix := c.indexFor(cond.Path, false)
+		if ix == nil {
+			return nil, false
+		}
+		return ix.Lookup(cond.Value.Str()), true
+	case OpPrefix:
+		ix := c.indexFor(cond.Path, true)
+		if ix == nil || ix.Kind != BTreeIndex {
+			return nil, false
+		}
+		return ix.LookupPrefix(cond.Value.Str()), true
+	case OpIn:
+		ix := c.indexFor(cond.Path, false)
+		if ix == nil {
+			return nil, false
+		}
+		var ids []int64
+		for _, v := range cond.Set {
+			ids = append(ids, ix.Lookup(v.Str())...)
+		}
+		return ids, true
+	default:
+		return nil, false
+	}
+}
+
+// FindOne returns the first matching document, or nil.
+func (c *Collection) FindOne(filter Filter) *Doc {
+	cur := c.FindCursor(filter, 1)
+	docs := cur.Next()
+	if len(docs) == 0 {
+		return nil
+	}
+	return docs[0]
+}
+
+// Scan calls fn for every document in insertion order until fn returns
+// false. The callback must not retain the document across mutations.
+func (c *Collection) Scan(fn func(id int64, d *Doc) bool) {
+	c.mu.RLock()
+	order := append([]int64(nil), c.order...)
+	c.mu.RUnlock()
+	for _, id := range order {
+		c.mu.RLock()
+		d, ok := c.docs[id]
+		c.mu.RUnlock()
+		if ok && !fn(id, d) {
+			return
+		}
+	}
+}
+
+// CountWhere reports the number of documents matching filter.
+func (c *Collection) CountWhere(filter Filter) int64 {
+	return int64(len(c.FindIDs(filter)))
+}
+
+// Distinct returns the distinct scalar string values at path with their
+// frequencies.
+func (c *Collection) Distinct(path string) map[string]int64 {
+	out := make(map[string]int64)
+	c.Scan(func(_ int64, d *Doc) bool {
+		v, ok := d.Path(path)
+		if ok && v.IsScalar() && !v.Scalar().IsNull() {
+			out[v.Scalar().Str()]++
+		}
+		return true
+	})
+	return out
+}
+
+// Stats returns the storage statistics of the collection in the shape of the
+// paper's Tables I and II.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var dataSize int64
+	for _, d := range c.docs {
+		dataSize += d.SizeBytes()
+	}
+	var indexSize int64
+	for _, ix := range c.indexes {
+		indexSize += ix.SizeBytes()
+	}
+	var last int64
+	if len(c.extents) > 0 {
+		last = c.extents[len(c.extents)-1].used
+	}
+	avg := int64(0)
+	if len(c.docs) > 0 {
+		avg = dataSize / int64(len(c.docs))
+	}
+	return Stats{
+		NS:             c.ns,
+		Count:          int64(len(c.docs)),
+		NumExtents:     len(c.extents),
+		NIndexes:       len(c.indexes),
+		LastExtentSize: last,
+		TotalIndexSize: indexSize,
+		DataSize:       dataSize,
+		AvgObjSize:     avg,
+	}
+}
+
+// String identifies the collection.
+func (c *Collection) String() string {
+	return fmt.Sprintf("collection(%s, count=%d)", c.ns, c.Count())
+}

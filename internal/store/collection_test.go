@@ -1,0 +1,309 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func entityDoc(name, typ string, mentions int64) *Doc {
+	return NewDoc().
+		Set("name", Str(name)).
+		Set("type", Str(typ)).
+		Set("mentions", Num(mentions))
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	db := Open("dt", 0)
+	c := db.Collection("entity")
+	id := c.Insert(entityDoc("Matilda", "Movie", 10))
+	if d, ok := c.Get(id); !ok || d.PathString("name") != "Matilda" {
+		t.Fatalf("Get(%d) = %v, %v", id, d, ok)
+	}
+	if !c.Delete(id) {
+		t.Fatal("Delete returned false")
+	}
+	if _, ok := c.Get(id); ok {
+		t.Fatal("document survived delete")
+	}
+	if c.Delete(id) {
+		t.Fatal("double delete returned true")
+	}
+}
+
+func TestUpdateReindexes(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	c.EnsureIndex("name_1", "name", HashIndex)
+	id := c.Insert(entityDoc("Old", "Movie", 1))
+	if !c.Update(id, entityDoc("New", "Movie", 2)) {
+		t.Fatal("Update returned false")
+	}
+	if ids := c.Indexes()[0].Lookup("Old"); len(ids) != 0 {
+		t.Errorf("stale index entry: %v", ids)
+	}
+	if ids := c.Indexes()[0].Lookup("New"); len(ids) != 1 || ids[0] != id {
+		t.Errorf("missing index entry: %v", ids)
+	}
+	if c.Update(999, entityDoc("X", "Y", 0)) {
+		t.Error("Update of missing id returned true")
+	}
+}
+
+func TestFindFullScanAndFilters(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	c.Insert(entityDoc("Matilda", "Movie", 30))
+	c.Insert(entityDoc("Wicked", "Movie", 20))
+	c.Insert(entityDoc("IBM", "Company", 50))
+
+	if got := len(c.Find(EqStr("type", "Movie"))); got != 2 {
+		t.Errorf("Eq movie count = %d", got)
+	}
+	if got := len(c.Find(Contains("name", "ick"))); got != 1 {
+		t.Errorf("Contains = %d", got)
+	}
+	if got := len(c.Find(And{EqStr("type", "Movie"), Cond{Path: "mentions", Op: OpGt, Value: record.Int(25)}})); got != 1 {
+		t.Errorf("And = %d", got)
+	}
+	if got := len(c.Find(Or{EqStr("name", "IBM"), EqStr("name", "Wicked")})); got != 2 {
+		t.Errorf("Or = %d", got)
+	}
+	if got := len(c.Find(Not{EqStr("type", "Movie")})); got != 1 {
+		t.Errorf("Not = %d", got)
+	}
+	if got := len(c.Find(All{})); got != 3 {
+		t.Errorf("All = %d", got)
+	}
+	if got := len(c.Find(nil)); got != 3 {
+		t.Errorf("nil filter = %d", got)
+	}
+	if got := len(c.Find(Exists("mentions"))); got != 3 {
+		t.Errorf("Exists = %d", got)
+	}
+	if got := len(c.Find(In("name", record.String("IBM"), record.String("Nope")))); got != 1 {
+		t.Errorf("In = %d", got)
+	}
+	if got := len(c.Find(Range("mentions", record.Int(20), record.Int(50)))); got != 2 {
+		t.Errorf("Range = %d", got)
+	}
+}
+
+func TestIndexedLookupMatchesScan(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	for i := 0; i < 200; i++ {
+		c.Insert(entityDoc(fmt.Sprintf("E%03d", i%50), fmt.Sprintf("T%d", i%5), int64(i)))
+	}
+	scan := c.FindIDs(EqStr("name", "E007"))
+	c.EnsureIndex("name_1", "name", HashIndex)
+	indexed := c.FindIDs(EqStr("name", "E007"))
+	if len(scan) != len(indexed) {
+		t.Fatalf("scan %d vs indexed %d", len(scan), len(indexed))
+	}
+	got := map[int64]bool{}
+	for _, id := range indexed {
+		got[id] = true
+	}
+	for _, id := range scan {
+		if !got[id] {
+			t.Fatalf("indexed lookup missing id %d", id)
+		}
+	}
+	// And-filter should also use the index then refine.
+	and := And{EqStr("name", "E007"), EqStr("type", "T2")}
+	want := 0
+	for _, d := range c.Find(All{}) {
+		if and.Matches(d) {
+			want++
+		}
+	}
+	if got := len(c.Find(and)); got != want {
+		t.Errorf("And indexed = %d, want %d", got, want)
+	}
+}
+
+func TestBTreeIndexPrefixAndList(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	c.EnsureIndex("name_btree", "name", BTreeIndex)
+	c.Insert(entityDoc("The Walking Dead", "Movie", 1))
+	c.Insert(entityDoc("The Wolverine", "Movie", 2))
+	c.Insert(entityDoc("Goodfellas", "Movie", 3))
+	ids := c.FindIDs(Prefix("name", "The "))
+	if len(ids) != 2 {
+		t.Errorf("prefix ids = %v", ids)
+	}
+
+	// Index over list elements.
+	c2 := Open("dt", 0).Collection("tagged")
+	c2.EnsureIndex("tags_1", "tags", HashIndex)
+	c2.Insert(NewDoc().Set("tags", List(Str("a"), Str("b"))))
+	c2.Insert(NewDoc().Set("tags", List(Str("b"))))
+	if got := len(c2.Find(EqStr("tags", "b"))); got != 2 {
+		t.Errorf("list index lookup = %d", got)
+	}
+	if got := len(c2.Find(EqStr("tags", "a"))); got != 1 {
+		t.Errorf("list index lookup a = %d", got)
+	}
+}
+
+func TestExtentAccounting(t *testing.T) {
+	c := newCollection("dt.x", 1024) // 1 KB extents force growth
+	for i := 0; i < 100; i++ {
+		c.Insert(entityDoc(fmt.Sprintf("name-%04d with some padding text", i), "Movie", int64(i)))
+	}
+	st := c.Stats()
+	if st.NumExtents < 2 {
+		t.Errorf("expected multiple extents, got %d", st.NumExtents)
+	}
+	if st.LastExtentSize <= 0 || st.LastExtentSize > 1024 {
+		t.Errorf("lastExtentSize = %d", st.LastExtentSize)
+	}
+	if st.Count != 100 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.AvgObjSize <= 0 {
+		t.Errorf("avgObjSize = %d", st.AvgObjSize)
+	}
+}
+
+func TestStatsShellFormat(t *testing.T) {
+	c := Open("dt", 0).Collection("instance")
+	c.Insert(entityDoc("a", "b", 1))
+	out := c.Stats().FormatShell()
+	for _, want := range []string{`> db.instance.stats();`, `"ns" : "dt.instance"`, `"count" : 1`, `"numExtents"`, `"nindexes"`, `"lastExtentSize"`, `"totalIndexSize"`} {
+		if !contains(out, want) {
+			t.Errorf("FormatShell missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCursorBatches(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	for i := 0; i < 25; i++ {
+		c.Insert(entityDoc(fmt.Sprintf("E%d", i), "Movie", int64(i)))
+	}
+	cur := c.FindCursor(All{}, 10)
+	sizes := []int{}
+	for batch := cur.Next(); batch != nil; batch = cur.Next() {
+		sizes = append(sizes, len(batch))
+	}
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[2] != 5 {
+		t.Errorf("batch sizes = %v", sizes)
+	}
+	cur2 := c.FindCursor(All{}, 7)
+	if got := len(cur2.All()); got != 25 {
+		t.Errorf("All() = %d", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	c.Insert(entityDoc("A", "Movie", 1))
+	c.Insert(entityDoc("B", "Movie", 1))
+	c.Insert(entityDoc("C", "Person", 1))
+	counts := c.Distinct("type")
+	if counts["Movie"] != 2 || counts["Person"] != 1 {
+		t.Errorf("Distinct = %v", counts)
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	c := Open("dt", 0).Collection("entity")
+	c.EnsureIndex("name_1", "name", HashIndex)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Insert(entityDoc(fmt.Sprintf("w%d-%d", w, i), "Movie", int64(i)))
+				c.Find(EqStr("type", "Movie"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Count() != 800 {
+		t.Errorf("count = %d, want 800", c.Count())
+	}
+}
+
+func TestShardedRoutingAndStats(t *testing.T) {
+	s := NewSharded("dt.entity", "name", 4, 4096)
+	for i := 0; i < 400; i++ {
+		s.Insert(entityDoc(fmt.Sprintf("entity-%04d", i), "Person", int64(i)))
+	}
+	if s.Count() != 400 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	// Hash routing should spread docs across all shards.
+	for i, n := range s.Balance() {
+		if n == 0 {
+			t.Errorf("shard %d empty", i)
+		}
+	}
+	s.EnsureIndex("name_1", "name", HashIndex)
+	got := s.Find(EqStr("name", "entity-0123"))
+	if len(got) != 1 {
+		t.Fatalf("sharded find = %d docs", len(got))
+	}
+	st := s.Stats()
+	if st.Count != 400 || st.NS != "dt.entity" {
+		t.Errorf("merged stats = %+v", st)
+	}
+	if st.NIndexes != 1 {
+		t.Errorf("merged nindexes = %d", st.NIndexes)
+	}
+	if st.NumExtents < s.NumShards() {
+		t.Errorf("numExtents = %d", st.NumExtents)
+	}
+	counts := s.Distinct("type")
+	if counts["Person"] != 400 {
+		t.Errorf("sharded distinct = %v", counts)
+	}
+}
+
+func TestShardedScanEarlyStop(t *testing.T) {
+	s := NewSharded("dt.x", "name", 3, 0)
+	for i := 0; i < 30; i++ {
+		s.Insert(entityDoc(fmt.Sprintf("n%d", i), "T", 0))
+	}
+	seen := 0
+	s.Scan(func(_ int, _ int64, _ *Doc) bool {
+		seen++
+		return seen < 7
+	})
+	if seen != 7 {
+		t.Errorf("scan visited %d", seen)
+	}
+}
+
+func TestDBCollections(t *testing.T) {
+	db := Open("dt", 0)
+	c1 := db.Collection("a")
+	c2 := db.Collection("a")
+	if c1 != c2 {
+		t.Error("Collection should be idempotent")
+	}
+	db.Collection("b")
+	names := db.CollectionNames()
+	if len(names) != 2 || names[0] != "a" {
+		t.Errorf("names = %v", names)
+	}
+	db.Drop("a")
+	if len(db.CollectionNames()) != 1 {
+		t.Error("drop failed")
+	}
+}

@@ -1,0 +1,51 @@
+package store
+
+// Cursor iterates query results in batches, decoupling result consumption
+// from result computation the way a wire-protocol cursor would.
+type Cursor struct {
+	coll      *Collection
+	ids       []int64
+	pos       int
+	batchSize int
+}
+
+// FindCursor runs filter and returns a cursor over the matches with the
+// given batch size (<= 0 means a default of 100).
+func (c *Collection) FindCursor(filter Filter, batchSize int) *Cursor {
+	if batchSize <= 0 {
+		batchSize = 100
+	}
+	return &Cursor{coll: c, ids: c.FindIDs(filter), batchSize: batchSize}
+}
+
+// Next returns the next batch of documents, or nil when exhausted.
+// Documents deleted since the query ran are skipped.
+func (cur *Cursor) Next() []*Doc {
+	if cur.pos >= len(cur.ids) {
+		return nil
+	}
+	end := cur.pos + cur.batchSize
+	if end > len(cur.ids) {
+		end = len(cur.ids)
+	}
+	batch := make([]*Doc, 0, end-cur.pos)
+	for _, id := range cur.ids[cur.pos:end] {
+		if d, ok := cur.coll.Get(id); ok {
+			batch = append(batch, d)
+		}
+	}
+	cur.pos = end
+	return batch
+}
+
+// Remaining reports how many result ids have not yet been consumed.
+func (cur *Cursor) Remaining() int { return len(cur.ids) - cur.pos }
+
+// All drains the cursor and returns every remaining document.
+func (cur *Cursor) All() []*Doc {
+	var out []*Doc
+	for batch := cur.Next(); batch != nil; batch = cur.Next() {
+		out = append(out, batch...)
+	}
+	return out
+}

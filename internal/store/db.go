@@ -1,0 +1,60 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is a named database holding collections. It is safe for concurrent use.
+type DB struct {
+	mu         sync.RWMutex
+	name       string
+	extentSize int64
+	colls      map[string]*Collection
+}
+
+// Open returns a database with the given name and extent size for new
+// collections (0 selects DefaultExtentSize).
+func Open(name string, extentSize int64) *DB {
+	return &DB{name: name, extentSize: extentSize, colls: make(map[string]*Collection)}
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// Collection returns the named collection, creating it on first use.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.colls[name]; ok {
+		return c
+	}
+	c := newCollection(db.name+"."+name, db.extentSize)
+	db.colls[name] = c
+	return c
+}
+
+// CollectionNames lists collections in sorted order.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.colls))
+	for name := range db.colls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes the named collection.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.colls, name)
+}
+
+// String identifies the database.
+func (db *DB) String() string {
+	return fmt.Sprintf("db(%s, %d collections)", db.name, len(db.CollectionNames()))
+}

@@ -1,0 +1,282 @@
+// Package store implements the sharded semi-structured document store the
+// paper's text pipeline lands in (a MongoDB deployment in the original
+// system): namespaced collections, fixed-size extents, hash and B-tree
+// secondary indexes, filter queries with index selection, cursors, and
+// stats() output in the shape of the paper's Tables I and II.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// DocValue is a node in a semi-structured document tree: a scalar, a nested
+// document, or a list of values. The zero DocValue is the null scalar.
+type DocValue struct {
+	kind   docKind
+	scalar record.Value
+	doc    *Doc
+	list   []DocValue
+}
+
+type docKind int
+
+const (
+	docScalar docKind = iota
+	docNested
+	docList
+)
+
+// Scalar wraps a record.Value as a document value.
+func Scalar(v record.Value) DocValue { return DocValue{kind: docScalar, scalar: v} }
+
+// Str is shorthand for a string scalar.
+func Str(s string) DocValue { return Scalar(record.String(s)) }
+
+// Num is shorthand for an integer scalar.
+func Num(i int64) DocValue { return Scalar(record.Int(i)) }
+
+// Nested wraps a sub-document.
+func Nested(d *Doc) DocValue { return DocValue{kind: docNested, doc: d} }
+
+// List wraps a list of values.
+func List(vs ...DocValue) DocValue { return DocValue{kind: docList, list: vs} }
+
+// IsScalar reports whether v is a scalar.
+func (v DocValue) IsScalar() bool { return v.kind == docScalar }
+
+// IsDoc reports whether v is a nested document.
+func (v DocValue) IsDoc() bool { return v.kind == docNested }
+
+// IsList reports whether v is a list.
+func (v DocValue) IsList() bool { return v.kind == docList }
+
+// Scalar returns the scalar payload (Null for non-scalars).
+func (v DocValue) Scalar() record.Value {
+	if v.kind != docScalar {
+		return record.Null
+	}
+	return v.scalar
+}
+
+// Doc returns the nested document payload, or nil.
+func (v DocValue) Doc() *Doc {
+	if v.kind != docNested {
+		return nil
+	}
+	return v.doc
+}
+
+// List returns the list payload, or nil.
+func (v DocValue) List() []DocValue {
+	if v.kind != docList {
+		return nil
+	}
+	return v.list
+}
+
+// String renders the value compactly for debugging.
+func (v DocValue) String() string {
+	switch v.kind {
+	case docScalar:
+		return v.scalar.String()
+	case docNested:
+		return v.doc.String()
+	case docList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return ""
+	}
+}
+
+// sizeBytes estimates the on-disk footprint of the value, used by extent
+// accounting. The constants approximate a BSON-like encoding overhead.
+func (v DocValue) sizeBytes() int64 {
+	const scalarOverhead = 16
+	switch v.kind {
+	case docScalar:
+		return scalarOverhead + int64(len(v.scalar.Str()))
+	case docNested:
+		return v.doc.SizeBytes()
+	case docList:
+		var n int64 = 8
+		for _, e := range v.list {
+			n += e.sizeBytes()
+		}
+		return n
+	default:
+		return scalarOverhead
+	}
+}
+
+// Doc is an ordered semi-structured document.
+type Doc struct {
+	fields []docField
+	index  map[string]int
+}
+
+type docField struct {
+	name  string
+	value DocValue
+}
+
+// NewDoc returns an empty document.
+func NewDoc() *Doc { return &Doc{index: make(map[string]int)} }
+
+// Set stores value under name, replacing any existing field.
+func (d *Doc) Set(name string, value DocValue) *Doc {
+	if d.index == nil {
+		d.index = make(map[string]int)
+	}
+	if i, ok := d.index[name]; ok {
+		d.fields[i] = docField{name: name, value: value}
+		return d
+	}
+	d.index[name] = len(d.fields)
+	d.fields = append(d.fields, docField{name: name, value: value})
+	return d
+}
+
+// Get returns the value under name and whether it exists.
+func (d *Doc) Get(name string) (DocValue, bool) {
+	if d == nil || d.index == nil {
+		return DocValue{}, false
+	}
+	i, ok := d.index[name]
+	if !ok {
+		return DocValue{}, false
+	}
+	return d.fields[i].value, true
+}
+
+// Len reports the number of top-level fields.
+func (d *Doc) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.fields)
+}
+
+// Names returns field names in insertion order.
+func (d *Doc) Names() []string {
+	names := make([]string, len(d.fields))
+	for i, f := range d.fields {
+		names[i] = f.name
+	}
+	return names
+}
+
+// Path resolves a dotted path like "entity.name" into the document tree,
+// returning the value and whether the full path exists. List elements are
+// not addressable by path; a path ending at a list returns the list value.
+func (d *Doc) Path(path string) (DocValue, bool) {
+	cur := d
+	parts := strings.Split(path, ".")
+	for i, part := range parts {
+		v, ok := cur.Get(part)
+		if !ok {
+			return DocValue{}, false
+		}
+		if i == len(parts)-1 {
+			return v, true
+		}
+		if !v.IsDoc() {
+			return DocValue{}, false
+		}
+		cur = v.Doc()
+	}
+	return DocValue{}, false
+}
+
+// PathString resolves path and returns the scalar string rendering ("" when
+// absent or non-scalar).
+func (d *Doc) PathString(path string) string {
+	v, ok := d.Path(path)
+	if !ok || !v.IsScalar() {
+		return ""
+	}
+	return v.Scalar().Str()
+}
+
+// SizeBytes estimates the encoded footprint of the document.
+func (d *Doc) SizeBytes() int64 {
+	var n int64 = 16 // header
+	for _, f := range d.fields {
+		n += int64(len(f.name)) + 2 + f.value.sizeBytes()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the document.
+func (d *Doc) Clone() *Doc {
+	c := NewDoc()
+	for _, f := range d.fields {
+		c.Set(f.name, f.value.clone())
+	}
+	return c
+}
+
+func (v DocValue) clone() DocValue {
+	switch v.kind {
+	case docNested:
+		return Nested(v.doc.Clone())
+	case docList:
+		list := make([]DocValue, len(v.list))
+		for i, e := range v.list {
+			list[i] = e.clone()
+		}
+		return DocValue{kind: docList, list: list}
+	default:
+		return v
+	}
+}
+
+// String renders the document as {name: value, ...}.
+func (d *Doc) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range d.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", f.name, f.value.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FromRecord converts a flat record into a one-level document.
+func FromRecord(r *record.Record) *Doc {
+	d := NewDoc()
+	for _, f := range r.Fields() {
+		d.Set(f.Name, Scalar(f.Value))
+	}
+	return d
+}
+
+// ToRecord converts the document's scalar top-level fields into a flat
+// record, skipping nested documents and lists.
+func (d *Doc) ToRecord() *record.Record {
+	r := record.New()
+	for _, f := range d.fields {
+		if f.value.IsScalar() {
+			r.Set(f.name, f.value.Scalar())
+		}
+	}
+	return r
+}
+
+// SortedFieldNames returns the document's top-level field names sorted, for
+// deterministic reporting.
+func (d *Doc) SortedFieldNames() []string {
+	names := d.Names()
+	sort.Strings(names)
+	return names
+}

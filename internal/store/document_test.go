@@ -1,0 +1,102 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+func TestDocSetGetPath(t *testing.T) {
+	inner := NewDoc().Set("name", Str("Matilda")).Set("type", Str("Movie"))
+	d := NewDoc().
+		Set("entity", Nested(inner)).
+		Set("score", Scalar(record.Float(0.9))).
+		Set("tags", List(Str("award"), Str("broadway")))
+
+	if got := d.PathString("entity.name"); got != "Matilda" {
+		t.Errorf("PathString(entity.name) = %q", got)
+	}
+	if got := d.PathString("entity.missing"); got != "" {
+		t.Errorf("missing path = %q", got)
+	}
+	if _, ok := d.Path("score.deeper"); ok {
+		t.Error("path through scalar should fail")
+	}
+	v, ok := d.Path("tags")
+	if !ok || !v.IsList() || len(v.List()) != 2 {
+		t.Errorf("tags path = %v, %v", v, ok)
+	}
+}
+
+func TestDocSetReplace(t *testing.T) {
+	d := NewDoc().Set("a", Num(1)).Set("a", Num(2))
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := d.PathString("a"); got != "2" {
+		t.Errorf("a = %q", got)
+	}
+}
+
+func TestDocClone(t *testing.T) {
+	inner := NewDoc().Set("x", Num(1))
+	d := NewDoc().Set("inner", Nested(inner)).Set("list", List(Num(1)))
+	c := d.Clone()
+	inner.Set("x", Num(99))
+	if got := c.PathString("inner.x"); got != "1" {
+		t.Errorf("clone shares nested doc: %q", got)
+	}
+}
+
+func TestDocRecordRoundTrip(t *testing.T) {
+	r := record.New()
+	r.Set("show", record.String("Wicked"))
+	r.Set("price", record.Float(99.5))
+	d := FromRecord(r)
+	back := d.ToRecord()
+	if !r.Equal(back) {
+		t.Errorf("round trip: %v != %v", r, back)
+	}
+}
+
+func TestDocToRecordSkipsNested(t *testing.T) {
+	d := NewDoc().Set("a", Num(1)).Set("b", Nested(NewDoc()))
+	r := d.ToRecord()
+	if r.Len() != 1 || !r.Has("a") {
+		t.Errorf("ToRecord = %v", r)
+	}
+}
+
+func TestSizeBytesMonotonic(t *testing.T) {
+	small := NewDoc().Set("a", Str("x"))
+	big := NewDoc().Set("a", Str("x")).Set("b", Str("a much longer value here"))
+	if small.SizeBytes() >= big.SizeBytes() {
+		t.Errorf("size not monotonic: %d >= %d", small.SizeBytes(), big.SizeBytes())
+	}
+	if small.SizeBytes() <= 0 {
+		t.Error("size should be positive")
+	}
+}
+
+// Property: a record round-trips through a document for arbitrary values.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(key, val string) bool {
+		if record.NormalizeName(key) == "" {
+			return true
+		}
+		r := record.New()
+		r.Set(key, record.String(val))
+		return FromRecord(r).ToRecord().Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocString(t *testing.T) {
+	d := NewDoc().Set("a", Num(1)).Set("b", List(Str("x")))
+	if got := d.String(); got != "{a: 1, b: [x]}" {
+		t.Errorf("String = %q", got)
+	}
+}

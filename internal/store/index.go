@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+)
+
+// IndexKind selects the physical structure backing a secondary index.
+type IndexKind int
+
+// Supported index kinds. Hash indexes serve point lookups; B-tree indexes
+// additionally serve range and prefix scans.
+const (
+	HashIndex IndexKind = iota
+	BTreeIndex
+)
+
+// String returns the kind name.
+func (k IndexKind) String() string {
+	switch k {
+	case HashIndex:
+		return "hash"
+	case BTreeIndex:
+		return "btree"
+	default:
+		return fmt.Sprintf("indexkind(%d)", int(k))
+	}
+}
+
+// Index is a secondary index over a dotted document path. Keys are the
+// string renderings of scalar values at that path; documents whose path is
+// absent or non-scalar are not indexed (list elements are indexed
+// individually).
+type Index struct {
+	Name string
+	Path string
+	Kind IndexKind
+
+	hash map[string][]int64
+	tree *btree.Tree
+
+	entries   int64
+	keyBytes  int64
+	perEntry  int64 // bookkeeping overhead per entry, for size estimates
+	keyOfDocs func(*Doc) []string
+}
+
+func newIndex(name, path string, kind IndexKind) *Index {
+	idx := &Index{Name: name, Path: path, Kind: kind, perEntry: 24}
+	switch kind {
+	case HashIndex:
+		idx.hash = make(map[string][]int64)
+	case BTreeIndex:
+		idx.tree = btree.New()
+	}
+	return idx
+}
+
+// keysOf extracts the index keys for a document: one key for a scalar path,
+// one per scalar element for a list path.
+func (ix *Index) keysOf(d *Doc) []string {
+	v, ok := d.Path(ix.Path)
+	if !ok {
+		return nil
+	}
+	if v.IsList() {
+		var keys []string
+		for _, e := range v.List() {
+			if e.IsScalar() && !e.Scalar().IsNull() {
+				keys = append(keys, e.Scalar().Str())
+			}
+		}
+		return keys
+	}
+	if !v.IsScalar() || v.Scalar().IsNull() {
+		return nil
+	}
+	return []string{v.Scalar().Str()}
+}
+
+func (ix *Index) insert(id int64, d *Doc) {
+	for _, key := range ix.keysOf(d) {
+		switch ix.Kind {
+		case HashIndex:
+			ix.hash[key] = append(ix.hash[key], id)
+			ix.entries++
+			ix.keyBytes += int64(len(key))
+		case BTreeIndex:
+			if ix.tree.Insert(key, id) {
+				ix.entries++
+				ix.keyBytes += int64(len(key))
+			}
+		}
+	}
+}
+
+func (ix *Index) remove(id int64, d *Doc) {
+	for _, key := range ix.keysOf(d) {
+		switch ix.Kind {
+		case HashIndex:
+			ids := ix.hash[key]
+			for i, got := range ids {
+				if got == id {
+					ix.hash[key] = append(ids[:i], ids[i+1:]...)
+					ix.entries--
+					ix.keyBytes -= int64(len(key))
+					break
+				}
+			}
+			if len(ix.hash[key]) == 0 {
+				delete(ix.hash, key)
+			}
+		case BTreeIndex:
+			if ix.tree.Delete(key, id) {
+				ix.entries--
+				ix.keyBytes -= int64(len(key))
+			}
+		}
+	}
+}
+
+// Lookup returns the ids of documents whose indexed value equals key.
+func (ix *Index) Lookup(key string) []int64 {
+	switch ix.Kind {
+	case HashIndex:
+		ids := ix.hash[key]
+		out := make([]int64, len(ids))
+		copy(out, ids)
+		return out
+	case BTreeIndex:
+		return ix.tree.Lookup(key)
+	default:
+		return nil
+	}
+}
+
+// LookupRange returns ids with ge <= key < lt in key order. Only B-tree
+// indexes support ranges; hash indexes return nil.
+func (ix *Index) LookupRange(ge, lt string) []int64 {
+	if ix.Kind != BTreeIndex {
+		return nil
+	}
+	var ids []int64
+	ix.tree.AscendRange(ge, lt, func(e btree.Entry) bool {
+		ids = append(ids, e.ID)
+		return true
+	})
+	return ids
+}
+
+// LookupPrefix returns ids whose key starts with prefix, in key order.
+// Only B-tree indexes support prefix scans.
+func (ix *Index) LookupPrefix(prefix string) []int64 {
+	if ix.Kind != BTreeIndex {
+		return nil
+	}
+	var ids []int64
+	ix.tree.AscendPrefix(prefix, func(e btree.Entry) bool {
+		ids = append(ids, e.ID)
+		return true
+	})
+	return ids
+}
+
+// Entries reports the number of (key, id) pairs stored.
+func (ix *Index) Entries() int64 { return ix.entries }
+
+// SizeBytes estimates the index footprint: key bytes plus per-entry
+// structural overhead, matching how totalIndexSize is reported in stats.
+func (ix *Index) SizeBytes() int64 {
+	return ix.keyBytes + ix.entries*ix.perEntry
+}

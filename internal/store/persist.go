@@ -1,0 +1,285 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Persistence: collections can be checkpointed to a snapshot stream and kept
+// durable between checkpoints with an append-only journal; recovery loads
+// the snapshot and replays the journal. Frames are CRC-protected so a torn
+// tail write is detected and recovery stops cleanly at the last good frame.
+
+const (
+	snapshotMagic = "DTSNAP1\n"
+	journalMagic  = "DTJRNL1\n"
+)
+
+// Journal op codes.
+const (
+	opInsert byte = 1
+	opUpdate byte = 2
+	opDelete byte = 3
+)
+
+// WriteSnapshot serializes the collection: header, namespace, document
+// count, then (id, doc) frames, each CRC-protected.
+func (c *Collection) WriteSnapshot(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := writeFrame(bw, []byte(c.ns)); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(c.order)))
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	for _, id := range c.order {
+		var idb [8]byte
+		binary.LittleEndian.PutUint64(idb[:], uint64(id))
+		if _, err := bw.Write(idb[:]); err != nil {
+			return err
+		}
+		if err := writeFrame(bw, EncodeDoc(c.docs[id])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads a snapshot into a fresh collection with the given
+// extent size. Indexes are not part of the snapshot; re-create them with
+// EnsureIndex after loading.
+func ReadSnapshot(r io.Reader, extentSize int64) (*Collection, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
+	}
+	nsBytes, err := readFrame(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading namespace: %w", err)
+	}
+	c := newCollection(string(nsBytes), extentSize)
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("store: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(count[:])
+	for i := uint64(0); i < n; i++ {
+		var idb [8]byte
+		if _, err := io.ReadFull(br, idb[:]); err != nil {
+			return nil, fmt.Errorf("store: reading doc %d id: %w", i, err)
+		}
+		id := int64(binary.LittleEndian.Uint64(idb[:]))
+		frame, err := readFrame(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading doc %d: %w", i, err)
+		}
+		doc, err := DecodeDoc(frame)
+		if err != nil {
+			return nil, fmt.Errorf("store: decoding doc %d: %w", i, err)
+		}
+		c.docs[id] = doc
+		c.order = append(c.order, id)
+		c.allocate(doc.SizeBytes())
+		if id >= c.nextID {
+			c.nextID = id + 1
+		}
+	}
+	return c, nil
+}
+
+// Journal is an append-only operation log for one collection.
+type Journal struct {
+	w      *bufio.Writer
+	closer io.Closer
+	wrote  bool
+}
+
+// NewJournal starts a journal on w, writing the header immediately.
+func NewJournal(w io.Writer) (*Journal, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(journalMagic); err != nil {
+		return nil, err
+	}
+	j := &Journal{w: bw}
+	if c, ok := w.(io.Closer); ok {
+		j.closer = c
+	}
+	return j, nil
+}
+
+// LogInsert appends an insert frame.
+func (j *Journal) LogInsert(id int64, d *Doc) error { return j.log(opInsert, id, d) }
+
+// LogUpdate appends an update frame.
+func (j *Journal) LogUpdate(id int64, d *Doc) error { return j.log(opUpdate, id, d) }
+
+// LogDelete appends a delete frame.
+func (j *Journal) LogDelete(id int64) error { return j.log(opDelete, id, nil) }
+
+func (j *Journal) log(op byte, id int64, d *Doc) error {
+	j.wrote = true
+	payload := make([]byte, 9)
+	payload[0] = op
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(id))
+	if d != nil {
+		payload = append(payload, EncodeDoc(d)...)
+	}
+	return writeFrame(j.w, payload)
+}
+
+// Flush forces buffered frames to the underlying writer.
+func (j *Journal) Flush() error { return j.w.Flush() }
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *Journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.closer != nil {
+		return j.closer.Close()
+	}
+	return nil
+}
+
+// ReplayStats summarizes a journal replay.
+type ReplayStats struct {
+	Inserts, Updates, Deletes int
+	// Truncated is true when the journal ended mid-frame (torn write); the
+	// ops before the tear were applied.
+	Truncated bool
+}
+
+// ReplayJournal applies a journal stream to the collection. Unknown ids on
+// update/delete are skipped (idempotent replay); a corrupt or torn tail
+// stops replay and sets Truncated rather than failing recovery.
+func (c *Collection) ReplayJournal(r io.Reader) (ReplayStats, error) {
+	var stats ReplayStats
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return stats, fmt.Errorf("store: reading journal magic: %w", err)
+	}
+	if string(magic) != journalMagic {
+		return stats, fmt.Errorf("store: bad journal magic %q", magic)
+	}
+	for {
+		payload, err := readFrame(br)
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			stats.Truncated = true
+			return stats, nil
+		}
+		if len(payload) < 9 {
+			stats.Truncated = true
+			return stats, nil
+		}
+		op := payload[0]
+		id := int64(binary.LittleEndian.Uint64(payload[1:9]))
+		switch op {
+		case opInsert, opUpdate:
+			doc, err := DecodeDoc(payload[9:])
+			if err != nil {
+				stats.Truncated = true
+				return stats, nil
+			}
+			c.applyReplay(id, doc)
+			if op == opInsert {
+				stats.Inserts++
+			} else {
+				stats.Updates++
+			}
+		case opDelete:
+			if c.Delete(id) {
+				stats.Deletes++
+			}
+		default:
+			stats.Truncated = true
+			return stats, nil
+		}
+	}
+}
+
+// applyReplay inserts-or-replaces a document under a specific id.
+func (c *Collection) applyReplay(id int64, doc *Doc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.docs[id]; ok {
+		for _, ix := range c.indexes {
+			ix.remove(id, old)
+		}
+		c.docs[id] = doc
+		for _, ix := range c.indexes {
+			ix.insert(id, doc)
+		}
+		return
+	}
+	c.docs[id] = doc
+	c.order = append(c.order, id)
+	c.allocate(doc.SizeBytes())
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	for _, ix := range c.indexes {
+		ix.insert(id, doc)
+	}
+}
+
+// writeFrame writes len(4) payload crc32(4).
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readFrame reads one frame, validating length and CRC. io.EOF at a frame
+// boundary is returned as io.EOF; mid-frame EOF or CRC mismatch is an error.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("store: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("store: implausible frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("store: reading frame payload: %w", err)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(br, crcb[:]); err != nil {
+		return nil, fmt.Errorf("store: reading frame crc: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcb[:]) {
+		return nil, fmt.Errorf("store: frame crc mismatch")
+	}
+	return payload, nil
+}

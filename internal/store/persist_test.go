@@ -1,0 +1,291 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/record"
+)
+
+func richDoc() *Doc {
+	return NewDoc().
+		Set("name", Str("Matilda")).
+		Set("count", Num(42)).
+		Set("score", Scalar(record.Float(0.93))).
+		Set("live", Scalar(record.Bool(true))).
+		Set("opened", Scalar(record.Time(time.Date(2013, 3, 4, 19, 0, 0, 0, time.UTC)))).
+		Set("missing", Scalar(record.Null)).
+		Set("nested", Nested(NewDoc().Set("inner", Str("value")))).
+		Set("list", List(Str("a"), Num(2), Nested(NewDoc().Set("deep", Str("x")))))
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := richDoc()
+	data := EncodeDoc(d)
+	back, err := DecodeDoc(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("field count %d vs %d", back.Len(), d.Len())
+	}
+	if back.String() != d.String() {
+		t.Errorf("round trip mismatch:\n%s\n%s", d, back)
+	}
+	// Scalar kinds preserved, not just string renderings.
+	v, _ := back.Path("count")
+	if v.Scalar().Kind() != record.KindInt {
+		t.Errorf("count kind = %v", v.Scalar().Kind())
+	}
+	v, _ = back.Path("opened")
+	if v.Scalar().Kind() != record.KindTime {
+		t.Errorf("opened kind = %v", v.Scalar().Kind())
+	}
+	tm, _ := v.Scalar().AsTime()
+	if tm.Hour() != 19 {
+		t.Errorf("time payload = %v", tm)
+	}
+}
+
+func TestCodecEmptyDoc(t *testing.T) {
+	back, err := DecodeDoc(EncodeDoc(NewDoc()))
+	if err != nil || back.Len() != 0 {
+		t.Fatalf("empty doc: %v, %v", back, err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // huge count
+		{2, 1, 'a'},    // truncated
+		{1, 1, 'a', 9}, // bad tag
+	} {
+		if _, err := DecodeDoc(data); err == nil {
+			t.Errorf("DecodeDoc(%v) should fail", data)
+		}
+	}
+	// Trailing bytes rejected.
+	good := EncodeDoc(NewDoc().Set("a", Num(1)))
+	if _, err := DecodeDoc(append(good, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+// Property: encode/decode round-trips documents with arbitrary string
+// fields.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(names, vals []string) bool {
+		d := NewDoc()
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			d.Set(n, Str(v))
+		}
+		back, err := DecodeDoc(EncodeDoc(d))
+		return err == nil && back.String() == d.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := newCollection("dt.test", 4096)
+	var ids []int64
+	for i := 0; i < 50; i++ {
+		ids = append(ids, c.Insert(entityDoc(fmt.Sprintf("E%03d", i), "Movie", int64(i))))
+	}
+	c.Delete(ids[10])
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NS() != "dt.test" {
+		t.Errorf("ns = %q", loaded.NS())
+	}
+	if loaded.Count() != 49 {
+		t.Errorf("count = %d", loaded.Count())
+	}
+	if _, ok := loaded.Get(ids[10]); ok {
+		t.Error("deleted doc resurrected")
+	}
+	d, ok := loaded.Get(ids[20])
+	if !ok || d.PathString("name") != "E020" {
+		t.Errorf("doc 20 = %v, %v", d, ok)
+	}
+	// New inserts continue past the loaded id space.
+	newID := loaded.Insert(entityDoc("new", "Movie", 1))
+	if newID <= ids[len(ids)-1] {
+		t.Errorf("nextID not restored: %d", newID)
+	}
+	// Indexes can be rebuilt after load.
+	loaded.EnsureIndex("name_1", "name", HashIndex)
+	if got := len(loaded.Find(EqStr("name", "E020"))); got != 1 {
+		t.Errorf("indexed find after load = %d", got)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("NOTASNAP")), 0); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestJournalReplay(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := entityDoc("A", "Movie", 1)
+	d2 := entityDoc("B", "Movie", 2)
+	if err := j.LogInsert(1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogInsert(2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogUpdate(1, entityDoc("A2", "Movie", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogDelete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newCollection("dt.replay", 0)
+	c.EnsureIndex("name_1", "name", HashIndex)
+	stats, err := c.ReplayJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserts != 2 || stats.Updates != 1 || stats.Deletes != 1 || stats.Truncated {
+		t.Errorf("stats = %+v", stats)
+	}
+	if c.Count() != 1 {
+		t.Errorf("count = %d", c.Count())
+	}
+	d, ok := c.Get(1)
+	if !ok || d.PathString("name") != "A2" {
+		t.Errorf("doc 1 = %v", d)
+	}
+	// Index stayed consistent through replay.
+	if got := len(c.Find(EqStr("name", "A2"))); got != 1 {
+		t.Errorf("indexed find = %d", got)
+	}
+	if got := len(c.Find(EqStr("name", "A"))); got != 0 {
+		t.Errorf("stale index entry: %d", got)
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	j, _ := NewJournal(&buf)
+	j.LogInsert(1, entityDoc("A", "Movie", 1))
+	j.LogInsert(2, entityDoc("B", "Movie", 2))
+	j.Flush()
+	full := buf.Bytes()
+
+	// Tear the last frame mid-way.
+	torn := full[:len(full)-5]
+	c := newCollection("dt.torn", 0)
+	stats, err := c.ReplayJournal(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Error("torn tail not detected")
+	}
+	if stats.Inserts != 1 || c.Count() != 1 {
+		t.Errorf("pre-tear ops: %+v, count %d", stats, c.Count())
+	}
+}
+
+func TestJournalCorruptCRC(t *testing.T) {
+	var buf bytes.Buffer
+	j, _ := NewJournal(&buf)
+	j.LogInsert(1, entityDoc("A", "Movie", 1))
+	j.Flush()
+	data := buf.Bytes()
+	data[len(data)-6] ^= 0xff // flip a payload byte; CRC now mismatches
+
+	c := newCollection("dt.crc", 0)
+	stats, err := c.ReplayJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated || stats.Inserts != 0 {
+		t.Errorf("corrupt frame applied: %+v", stats)
+	}
+}
+
+func TestSnapshotPlusJournalRecovery(t *testing.T) {
+	// The full recovery flow: snapshot, more writes to a journal, recover.
+	c := newCollection("dt.rec", 0)
+	id1 := c.Insert(entityDoc("A", "Movie", 1))
+	var snap bytes.Buffer
+	if err := c.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var jbuf bytes.Buffer
+	j, _ := NewJournal(&jbuf)
+	id2 := c.Insert(entityDoc("B", "Movie", 2))
+	j.LogInsert(id2, entityDoc("B", "Movie", 2))
+	j.LogUpdate(id1, entityDoc("A-v2", "Movie", 1))
+	c.Update(id1, entityDoc("A-v2", "Movie", 1))
+	j.Close()
+
+	recovered, err := ReadSnapshot(&snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.ReplayJournal(bytes.NewReader(jbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Count() != c.Count() {
+		t.Fatalf("recovered count %d vs live %d", recovered.Count(), c.Count())
+	}
+	for _, id := range []int64{id1, id2} {
+		want, _ := c.Get(id)
+		got, ok := recovered.Get(id)
+		if !ok || got.String() != want.String() {
+			t.Errorf("doc %d: %v vs %v", id, got, want)
+		}
+	}
+}
+
+func BenchmarkEncodeDoc(b *testing.B) {
+	d := richDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeDoc(d)
+	}
+}
+
+func BenchmarkDecodeDoc(b *testing.B) {
+	data := EncodeDoc(richDoc())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDoc(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Sharded is a collection distributed over N shards by a hash of the shard
+// key path. Each shard is an independent Collection with its own extents and
+// indexes, as in the paper's distributed deployment; the router fans reads
+// out and merges stats.
+type Sharded struct {
+	ns       string
+	keyPath  string
+	shards   []*Collection
+	assigned []int64 // running doc count per shard, for reporting
+}
+
+// NewSharded creates a sharded namespace with n shards, hashing documents by
+// the scalar value at keyPath (documents missing the key hash to shard 0).
+func NewSharded(ns, keyPath string, n int, extentSize int64) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{ns: ns, keyPath: keyPath, assigned: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newCollection(ns, extentSize))
+	}
+	return s
+}
+
+// NS returns the sharded namespace.
+func (s *Sharded) NS() string { return s.ns }
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns the i'th shard, for shard-local operations.
+func (s *Sharded) Shard(i int) *Collection { return s.shards[i] }
+
+// ReplaceShard swaps in a new backing collection for shard i — the recovery
+// path after loading a snapshot. The collection's namespace must match.
+func (s *Sharded) ReplaceShard(i int, c *Collection) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("store: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	if c.NS() != s.ns {
+		return fmt.Errorf("store: shard namespace %q does not match %q", c.NS(), s.ns)
+	}
+	s.shards[i] = c
+	s.assigned[i] = c.Count()
+	return nil
+}
+
+// shardFor routes a document by hashing its shard key.
+func (s *Sharded) shardFor(d *Doc) int {
+	key := d.PathString(s.keyPath)
+	if key == "" {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(s.shards)
+}
+
+// Insert routes doc to its shard and returns (shard, local id).
+func (s *Sharded) Insert(d *Doc) (shard int, id int64) {
+	shard = s.shardFor(d)
+	id = s.shards[shard].Insert(d)
+	s.assigned[shard]++
+	return shard, id
+}
+
+// EnsureIndex creates the index on every shard.
+func (s *Sharded) EnsureIndex(name, path string, kind IndexKind) {
+	for _, sh := range s.shards {
+		sh.EnsureIndex(name, path, kind)
+	}
+}
+
+// Find fans the filter out to every shard and concatenates results in shard
+// order.
+func (s *Sharded) Find(filter Filter) []*Doc {
+	var out []*Doc
+	for _, sh := range s.shards {
+		out = append(out, sh.Find(filter)...)
+	}
+	return out
+}
+
+// Count reports the total document count across shards.
+func (s *Sharded) Count() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Count()
+	}
+	return n
+}
+
+// CountWhere reports the matching document count across shards.
+func (s *Sharded) CountWhere(filter Filter) int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.CountWhere(filter)
+	}
+	return n
+}
+
+// Scan visits every document on every shard until fn returns false.
+func (s *Sharded) Scan(fn func(shard int, id int64, d *Doc) bool) {
+	for i, sh := range s.shards {
+		stopped := false
+		sh.Scan(func(id int64, d *Doc) bool {
+			if !fn(i, id, d) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Distinct merges per-shard distinct-value counts.
+func (s *Sharded) Distinct(path string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, sh := range s.shards {
+		for k, v := range sh.Distinct(path) {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Stats merges shard stats into namespace-wide stats, the view the paper's
+// Tables I and II quote from the router.
+func (s *Sharded) Stats() Stats {
+	parts := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		parts[i] = sh.Stats()
+	}
+	return Merge(s.ns, parts)
+}
+
+// Balance reports the per-shard document counts, for skew diagnostics.
+func (s *Sharded) Balance() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Count()
+	}
+	return out
+}

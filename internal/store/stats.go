@@ -1,0 +1,70 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats reports collection storage statistics in the shape of the paper's
+// Tables I and II (the mongo shell's db.<coll>.stats() fields).
+type Stats struct {
+	NS             string // namespace, e.g. "dt.instance"
+	Count          int64  // number of documents
+	NumExtents     int    // extents allocated
+	NIndexes       int    // number of indexes
+	LastExtentSize int64  // bytes used in the last extent
+	TotalIndexSize int64  // bytes across all indexes
+	DataSize       int64  // total document bytes
+	AvgObjSize     int64  // DataSize / Count
+}
+
+// FormatShell renders the stats like the mongo shell output quoted in the
+// paper:
+//
+//	> db.instance.stats();
+//	{
+//	"ns" : "dt.instance",
+//	"count" : 17731744,
+//	...
+//	}
+func (s Stats) FormatShell() string {
+	var b strings.Builder
+	parts := strings.SplitN(s.NS, ".", 2)
+	coll := s.NS
+	if len(parts) == 2 {
+		coll = parts[1]
+	}
+	fmt.Fprintf(&b, "> db.%s.stats();\n", coll)
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "%q : %q,\n", "ns", s.NS)
+	fmt.Fprintf(&b, "%q : %d,\n", "count", s.Count)
+	fmt.Fprintf(&b, "%q : %d,\n", "numExtents", s.NumExtents)
+	fmt.Fprintf(&b, "%q : %d,\n", "nindexes", s.NIndexes)
+	fmt.Fprintf(&b, "%q : %d,\n", "lastExtentSize", s.LastExtentSize)
+	fmt.Fprintf(&b, "%q : %d,\n", "totalIndexSize", s.TotalIndexSize)
+	b.WriteString("...\n}")
+	return b.String()
+}
+
+// Merge combines per-shard stats into cluster-wide stats: counts, extents and
+// index sizes add; lastExtentSize reports the largest shard's last extent
+// (what a router surfaces for a sharded namespace).
+func Merge(ns string, parts []Stats) Stats {
+	out := Stats{NS: ns}
+	for _, p := range parts {
+		out.Count += p.Count
+		out.NumExtents += p.NumExtents
+		if p.NIndexes > out.NIndexes {
+			out.NIndexes = p.NIndexes
+		}
+		if p.LastExtentSize > out.LastExtentSize {
+			out.LastExtentSize = p.LastExtentSize
+		}
+		out.TotalIndexSize += p.TotalIndexSize
+		out.DataSize += p.DataSize
+	}
+	if out.Count > 0 {
+		out.AvgObjSize = out.DataSize / out.Count
+	}
+	return out
+}

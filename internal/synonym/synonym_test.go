@@ -1,0 +1,136 @@
+package synonym
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictAddAreSynonyms(t *testing.T) {
+	d := NewDict()
+	d.Add("theater", "theatre")
+	d.Add("theatre", "venue")
+	if !d.AreSynonyms("theater", "venue") {
+		t.Error("transitivity failed")
+	}
+	if !d.AreSynonyms("THEATER", "Venue") {
+		t.Error("case-insensitivity failed")
+	}
+	if d.AreSynonyms("theater", "price") {
+		t.Error("unrelated terms reported synonymous")
+	}
+	if !d.AreSynonyms("anything", "anything") {
+		t.Error("self-synonymy failed")
+	}
+}
+
+func TestDictUnknownTermsNoMutation(t *testing.T) {
+	d := NewDict()
+	d.AreSynonyms("a", "b")
+	if d.Len() != 0 {
+		t.Errorf("lookup mutated dict: %d terms", d.Len())
+	}
+}
+
+func TestExpandCanonical(t *testing.T) {
+	d := NewDict()
+	d.AddGroup("price", "cost", "fare")
+	exp := d.Expand("cost")
+	if len(exp) != 3 {
+		t.Fatalf("Expand = %v", exp)
+	}
+	canon := d.Canonical("price")
+	for _, term := range []string{"price", "cost", "fare"} {
+		if d.Canonical(term) != canon {
+			t.Errorf("Canonical(%s) = %s, want %s", term, d.Canonical(term), canon)
+		}
+	}
+	if got := d.Canonical("unseen"); got != "unseen" {
+		t.Errorf("Canonical(unseen) = %q", got)
+	}
+	if got := d.Expand("unseen"); len(got) != 1 || got[0] != "unseen" {
+		t.Errorf("Expand(unseen) = %v", got)
+	}
+}
+
+func TestDefaultDomainVocabulary(t *testing.T) {
+	d := Default()
+	pairs := [][2]string{
+		{"show", "title"},
+		{"theater", "theatre"},
+		{"price", "cheapest_price"},
+		{"schedule", "performance"},
+		{"first", "opening_date"},
+	}
+	for _, p := range pairs {
+		if !d.AreSynonyms(p[0], p[1]) {
+			t.Errorf("Default should link %q and %q", p[0], p[1])
+		}
+	}
+	if d.AreSynonyms("show", "price") {
+		t.Error("show and price must not be synonyms")
+	}
+}
+
+func TestBootstrapperProposes(t *testing.T) {
+	b := NewBootstrapper()
+	// theatre/theater share contexts; price does not.
+	for i := 0; i < 5; i++ {
+		b.Observe("theatre", []string{"broadway", "seats", "stage", "curtain"})
+		b.Observe("theater", []string{"broadway", "seats", "stage", "tickets"})
+		b.Observe("price", []string{"dollars", "cheap", "discount"})
+	}
+	cands := b.Propose()
+	if len(cands) == 0 {
+		t.Fatal("no candidates proposed")
+	}
+	top := cands[0]
+	if !(top.A == "theater" && top.B == "theatre") {
+		t.Errorf("top candidate = %+v", top)
+	}
+	for _, c := range cands {
+		if c.A == "price" || c.B == "price" {
+			t.Errorf("price wrongly proposed: %+v", c)
+		}
+	}
+}
+
+func TestBootstrapperApply(t *testing.T) {
+	b := NewBootstrapper()
+	for i := 0; i < 3; i++ {
+		b.Observe("showtimes", []string{"pm", "evening", "matinee"})
+		b.Observe("showtime", []string{"pm", "evening", "matinee"})
+	}
+	d := NewDict()
+	added := b.Apply(d)
+	if added == 0 || !d.AreSynonyms("showtime", "showtimes") {
+		t.Errorf("Apply added %d; synonyms=%v", added, d.AreSynonyms("showtime", "showtimes"))
+	}
+}
+
+func TestBootstrapperStringGuard(t *testing.T) {
+	b := NewBootstrapper()
+	// Same contexts but dissimilar strings: must not propose.
+	for i := 0; i < 5; i++ {
+		b.Observe("venue", []string{"broadway", "stage"})
+		b.Observe("zzqx", []string{"broadway", "stage"})
+	}
+	for _, c := range b.Propose() {
+		if (c.A == "venue" && c.B == "zzqx") || (c.A == "zzqx" && c.B == "venue") {
+			t.Errorf("string guard failed: %+v", c)
+		}
+	}
+}
+
+// Property: AreSynonyms is symmetric and Add is idempotent.
+func TestQuickSymmetry(t *testing.T) {
+	f := func(a, b, c string) bool {
+		d := NewDict()
+		d.Add(a, b)
+		d.Add(a, b)
+		d.Add(b, c)
+		return d.AreSynonyms(a, c) == d.AreSynonyms(c, a) && d.AreSynonyms(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

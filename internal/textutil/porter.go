@@ -1,0 +1,222 @@
+package textutil
+
+import "strings"
+
+// Stem reduces an English word to its Porter stem (Porter, 1980). The input
+// is lower-cased first; words shorter than 3 runes are returned unchanged.
+func Stem(word string) string {
+	w := strings.ToLower(word)
+	if len(w) < 3 {
+		return w
+	}
+	s := &stemmer{b: []byte(w)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct{ b []byte }
+
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (s *stemmer) measure(end int) int {
+	m, i := 0, 0
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return m
+}
+
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *stemmer) endsDoubleConsonant() bool {
+	n := len(s.b)
+	return n >= 2 && s.b[n-1] == s.b[n-2] && s.isConsonant(n-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func (s *stemmer) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-1) || s.isConsonant(end-2) || !s.isConsonant(end-3) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func (s *stemmer) hasSuffix(suf string) bool {
+	return strings.HasSuffix(string(s.b), suf)
+}
+
+// replace swaps the suffix suf for rep when the stem before suf has
+// measure > m. It reports whether suf matched at all.
+func (s *stemmer) replace(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	stemEnd := len(s.b) - len(suf)
+	if s.measure(stemEnd) > m {
+		s.b = append(s.b[:stemEnd], rep...)
+	}
+	return true
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ss"):
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(len(s.b)-3) > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	removed := false
+	if s.hasSuffix("ed") && s.hasVowel(len(s.b)-2) {
+		s.b = s.b[:len(s.b)-2]
+		removed = true
+	} else if s.hasSuffix("ing") && s.hasVowel(len(s.b)-3) {
+		s.b = s.b[:len(s.b)-3]
+		removed = true
+	}
+	if !removed {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant() && !s.hasSuffix("l") && !s.hasSuffix("s") && !s.hasSuffix("z"):
+		s.b = s.b[:len(s.b)-1]
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, r := range step2Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, r := range step3Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemmer) step4() {
+	if s.hasSuffix("ion") {
+		stemEnd := len(s.b) - 3
+		if stemEnd > 0 && (s.b[stemEnd-1] == 's' || s.b[stemEnd-1] == 't') && s.measure(stemEnd) > 1 {
+			s.b = s.b[:stemEnd]
+		}
+		return
+	}
+	for _, suf := range step4Suffixes {
+		if s.hasSuffix(suf) {
+			stemEnd := len(s.b) - len(suf)
+			if s.measure(stemEnd) > 1 {
+				s.b = s.b[:stemEnd]
+			}
+			return
+		}
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stemEnd := len(s.b) - 1
+	m := s.measure(stemEnd)
+	if m > 1 || (m == 1 && !s.cvc(stemEnd)) {
+		s.b = s.b[:stemEnd]
+	}
+}
+
+func (s *stemmer) step5b() {
+	if s.hasSuffix("ll") && s.measure(len(s.b)) > 1 {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

@@ -1,0 +1,34 @@
+package textutil
+
+import "strings"
+
+// stopwords is the English stopword list used by mention counting and
+// schema-matching tokenizers.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+		a an and are as at be been but by for from has have he her his i if in
+		into is it its me my no not of on or our she so than that the their
+		them then there these they this to was we were what when where which
+		who will with would you your`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the lower-cased word is an English stopword.
+func IsStopword(w string) bool { return stopwords[strings.ToLower(w)] }
+
+// ContentWords tokenizes text, lower-cases, and drops stopwords and
+// single-character tokens.
+func ContentWords(text string) []string {
+	var out []string
+	for _, w := range Words(text) {
+		lw := strings.ToLower(w)
+		if len(lw) <= 1 || stopwords[lw] {
+			continue
+		}
+		out = append(out, lw)
+	}
+	return out
+}

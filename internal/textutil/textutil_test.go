@@ -1,0 +1,228 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Matilda, an award-winning import from London!")
+	want := []string{"Matilda", "an", "award-winning", "import", "from", "London"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "The Shubert 225"
+	for _, tok := range Tokenize(text) {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeIntraWordPunct(t *testing.T) {
+	words := Words("O'Brien met U.S. officials at AT&T.")
+	joined := strings.Join(words, "|")
+	for _, want := range []string{"O'Brien", "U.S", "AT&T"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %v", want, words)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("  ,,, !!"); len(got) != 0 {
+		t.Errorf("punct only = %v", got)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	text := "Matilda grossed 960,998. The show runs at the Shubert on W. 44th St. Tickets start at $27!"
+	sents := Sentences(text)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d: %q", len(sents), sents)
+	}
+	if !strings.HasPrefix(sents[1], "The show") {
+		t.Errorf("sentence 2 = %q", sents[1])
+	}
+	// "W. 44th" must not split (single-letter abbreviation guard).
+	if !strings.Contains(sents[1], "44th") {
+		t.Errorf("abbreviation split: %q", sents)
+	}
+}
+
+func TestSentencesNoTerminator(t *testing.T) {
+	sents := Sentences("no terminal punctuation here")
+	if len(sents) != 1 {
+		t.Errorf("sentences = %v", sents)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"The  Walking Dead!": "the walking dead",
+		"Shubert, 225 W.":    "shubert 225 w",
+		"":                   "",
+		"---":                "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	words := []string{"a", "b", "c", "d"}
+	bi := NGrams(words, 2)
+	if len(bi) != 3 || bi[0] != "a b" || bi[2] != "c d" {
+		t.Errorf("bigrams = %v", bi)
+	}
+	if got := NGrams(words, 5); got != nil {
+		t.Errorf("oversize n = %v", got)
+	}
+	if got := NGrams(words, 0); got != nil {
+		t.Errorf("zero n = %v", got)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	tri := CharNGrams("abcd", 3)
+	if len(tri) != 2 || tri[0] != "abc" || tri[1] != "bcd" {
+		t.Errorf("trigrams = %v", tri)
+	}
+	if got := CharNGrams("ab", 3); got != nil {
+		t.Errorf("short input = %v", got)
+	}
+	uni := CharNGrams("日本語", 2)
+	if len(uni) != 2 || uni[0] != "日本" {
+		t.Errorf("unicode ngrams = %v", uni)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("THE") {
+		t.Error("the should be a stopword")
+	}
+	if IsStopword("matilda") {
+		t.Error("matilda is not a stopword")
+	}
+	words := ContentWords("The Matilda show is a hit")
+	joined := strings.Join(words, "|")
+	if strings.Contains(joined, "the") || strings.Contains(joined, "is") {
+		t.Errorf("stopwords survived: %v", words)
+	}
+	if !strings.Contains(joined, "matilda") {
+		t.Errorf("content word lost: %v", words)
+	}
+}
+
+func TestPorterStem(t *testing.T) {
+	// Canonical examples from Porter's paper.
+	cases := map[string]string{
+		"caresses":   "caress",
+		"ponies":     "poni",
+		"ties":       "ti",
+		"caress":     "caress",
+		"cats":       "cat",
+		"feed":       "feed",
+		"agreed":     "agre",
+		"plastered":  "plaster",
+		"motoring":   "motor",
+		"sing":       "sing",
+		"conflated":  "conflat",
+		"troubling":  "troubl",
+		"sized":      "size",
+		"hopping":    "hop",
+		"falling":    "fall",
+		"hissing":    "hiss",
+		"failing":    "fail",
+		"filing":     "file",
+		"happy":      "happi",
+		"sky":        "sky",
+		"relational": "relat",
+		"rational":   "ration",
+		"digitizer":  "digit",
+		"triplicate": "triplic",
+		"formative":  "form",
+		"formalize":  "formal",
+		"electrical": "electr",
+		"hopeful":    "hope",
+		"goodness":   "good",
+		"revival":    "reviv",
+		"adoption":   "adopt",
+		"adjustable": "adjust",
+		"effective":  "effect",
+		"probate":    "probat",
+		"rate":       "rate",
+		"cease":      "ceas",
+		"controll":   "control",
+		"roll":       "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go"} {
+		if got := Stem(w); got != strings.ToLower(w) {
+			t.Errorf("Stem(%q) = %q", w, got)
+		}
+	}
+}
+
+// Property: stemming never lengthens a word (for ascii lower-case inputs).
+func TestQuickStemNeverLengthens(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return -1
+		}, strings.ToLower(s))
+		return len(Stem(clean)) <= len(clean) || len(Stem(clean)) <= len(clean)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: count of n-grams is len(words)-n+1.
+func TestQuickNGramCount(t *testing.T) {
+	f := func(ws []string, n uint8) bool {
+		k := int(n%5) + 1
+		grams := NGrams(ws, k)
+		if len(ws) < k {
+			return grams == nil
+		}
+		return len(grams) == len(ws)-k+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

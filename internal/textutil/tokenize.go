@@ -1,0 +1,151 @@
+// Package textutil provides the text-processing primitives the fusion
+// pipeline builds on: tokenization, sentence splitting, normalization,
+// stopword filtering, Porter stemming and n-gram extraction.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single token with its byte offset in the original text.
+type Token struct {
+	Text  string
+	Start int // byte offset of the first byte
+	End   int // byte offset one past the last byte
+}
+
+// Tokenize splits text into word tokens. A token is a maximal run of
+// letters, digits, or the intra-word punctuation ' . - & (so "O'Brien",
+// "U.S." and "AT&T" stay whole); trailing punctuation is stripped.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		raw := text[start:end]
+		trimmed := strings.TrimRight(raw, "'.-&")
+		if trimmed != "" {
+			tokens = append(tokens, Token{Text: trimmed, Start: start, End: start + len(trimmed)})
+		}
+		start = -1
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || ((r == '\'' || r == '.' || r == '-' || r == '&') && start >= 0) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return tokens
+}
+
+// Words returns just the token texts of Tokenize(text).
+func Words(text string) []string {
+	tokens := Tokenize(text)
+	words := make([]string, len(tokens))
+	for i, t := range tokens {
+		words[i] = t.Text
+	}
+	return words
+}
+
+// Sentences splits text into sentences on ., !, ? followed by whitespace and
+// an upper-case letter, digit, or quote — a pragmatic splitter that survives
+// abbreviations like "W. 44th St" better than naive splitting.
+func Sentences(text string) []string {
+	var out []string
+	start := 0
+	runes := []rune(text)
+	byteAt := make([]int, len(runes)+1)
+	{
+		b := 0
+		for i, r := range runes {
+			byteAt[i] = b
+			b += len(string(r))
+		}
+		byteAt[len(runes)] = b
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		// Look ahead: whitespace then sentence-initial character.
+		j := i + 1
+		for j < len(runes) && unicode.IsSpace(runes[j]) {
+			j++
+		}
+		if j == i+1 || j >= len(runes) {
+			continue
+		}
+		next := runes[j]
+		if !unicode.IsUpper(next) && !unicode.IsDigit(next) && next != '"' && next != '\'' {
+			continue
+		}
+		// Avoid splitting single-letter abbreviations like "W. 44th".
+		if r == '.' && i >= 1 && unicode.IsUpper(runes[i-1]) && (i < 2 || !unicode.IsLetter(runes[i-2])) {
+			continue
+		}
+		sent := strings.TrimSpace(text[byteAt[start]:byteAt[i+1]])
+		if sent != "" {
+			out = append(out, sent)
+		}
+		start = j
+	}
+	if rest := strings.TrimSpace(text[byteAt[start]:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+// Normalize lower-cases s, strips diacritic-free punctuation and collapses
+// whitespace — the canonical form used for value matching.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+			lastSpace = false
+		case !lastSpace:
+			b.WriteByte(' ')
+			lastSpace = true
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// NGrams returns the n-grams of the word sequence joined by spaces.
+// It returns nil when len(words) < n or n <= 0.
+func NGrams(words []string, n int) []string {
+	if n <= 0 || len(words) < n {
+		return nil
+	}
+	out := make([]string, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+n], " "))
+	}
+	return out
+}
+
+// CharNGrams returns the character n-grams of s (runes, not bytes), padding
+// with no sentinels. It returns nil when the rune length is below n.
+func CharNGrams(s string, n int) []string {
+	runes := []rune(s)
+	if n <= 0 || len(runes) < n {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}
