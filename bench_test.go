@@ -10,9 +10,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dedup"
 	"repro/internal/extract"
+	"repro/internal/live"
 	"repro/internal/match"
 	"repro/internal/ml"
 	"repro/internal/record"
@@ -433,4 +435,63 @@ func BenchmarkIngestThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(frags)), "fragments")
+}
+
+// BenchmarkLiveStreamingThroughput measures the live ingestion path
+// end-to-end: WAL-durable acknowledgment plus batched asynchronous apply
+// (extract, shard insert, index maintenance), reported as fragments/sec
+// through a running pipeline.
+func BenchmarkLiveStreamingThroughput(b *testing.B) {
+	tm := core.New(core.Config{Fragments: 200, FTSources: 3, Shards: 4, Seed: 3})
+	if err := tm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	ing, err := live.Open(tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ing.Close()
+	frags := datagen.GenerateWebText(datagen.WebTextConfig{Fragments: 256, Seed: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ing.IngestText([]live.Fragment{frags[i%len(frags)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "fragments/sec")
+	}
+}
+
+// BenchmarkLiveIngestRecords measures streaming structured-record ingestion
+// including incremental schema integration and fused-view refresh.
+func BenchmarkLiveIngestRecords(b *testing.B) {
+	tm := core.New(core.Config{Fragments: 200, FTSources: 3, Shards: 4, Seed: 3})
+	if err := tm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	ing, err := live.Open(tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ing.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := record.New()
+		rec.Set("SHOW_NAME", record.String(fmt.Sprintf("Bench Show %d", i)))
+		rec.Set("CHEAPEST_PRICE", record.Int(int64(30+i%70)))
+		if err := ing.IngestRecords("bench_feed", []*record.Record{rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -2,16 +2,30 @@
 //
 //	dtserver -addr :8080 -fragments 2000 -sources 20 -seed 1
 //
-// Endpoints: /stats /types /top?k= /show?name= /find?q= /cheapest?k=
+// With -live the server also accepts streaming writes, durably logged to a
+// write-ahead log under -wal-dir and applied by a batching worker pool;
+// state left in -wal-dir from a previous run is recovered on startup, and
+// shutdown (SIGINT/SIGTERM) drains the queue and flushes the WAL:
+//
+//	dtserver -addr :8080 -live -wal-dir ./dtlive
+//
+// Read endpoints: /stats /types /top?k= /show?name= /find?q= /cheapest?k=
+// Write endpoints (live mode): POST /ingest/text, POST /ingest/records,
+// POST /flush[?checkpoint=1], GET /live/stats
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/serve"
 )
 
@@ -22,24 +36,84 @@ func main() {
 	fragments := flag.Int("fragments", 2000, "web-text fragments to generate")
 	sources := flag.Int("sources", 20, "structured FTABLES sources")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	liveMode := flag.Bool("live", false, "accept streaming writes (POST /ingest/*)")
+	walDir := flag.String("wal-dir", "dtlive", "live mode: WAL and checkpoint directory")
+	batchSize := flag.Int("batch", 64, "live mode: max events per apply batch")
+	workers := flag.Int("workers", 0, "live mode: parse workers per batch (0 = NumCPU)")
+	queueDepth := flag.Int("queue", 1024, "live mode: apply queue depth (backpressure bound)")
+	flushEvery := flag.Duration("flush-interval", 200*time.Millisecond, "live mode: partial-batch apply interval")
+	fsync := flag.Bool("fsync", false, "live mode: fsync the WAL on every append")
 	flag.Parse()
 
 	tm := core.New(core.Config{Fragments: *fragments, FTSources: *sources, Seed: *seed})
 	start := time.Now()
-	if err := tm.Run(); err != nil {
-		log.Fatal(err)
+	if *liveMode && live.HasCheckpoint(*walDir) {
+		// A checkpoint will replace the stores and fused view; only the
+		// schema/registry side of the batch run is still needed. Store
+		// counts are logged once the checkpoint is loaded below.
+		log.Printf("checkpoint found in %s; skipping batch web-text ingest", *walDir)
+		if err := tm.ImportFTables(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("schema ready in %s", time.Since(start).Round(time.Millisecond))
+	} else {
+		if err := tm.Run(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
+			time.Since(start).Round(time.Millisecond),
+			tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
 	}
-	log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
-		time.Since(start).Round(time.Millisecond),
-		tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+
+	var ing *live.Ingester
+	if *liveMode {
+		var err error
+		ing, err = live.Open(tm, live.Config{
+			Dir:           *walDir,
+			BatchSize:     *batchSize,
+			Workers:       *workers,
+			QueueDepth:    *queueDepth,
+			FlushInterval: *flushEvery,
+			Fsync:         *fsync,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep := ing.Replay(); rep.Applied > 0 || rep.Skipped > 0 {
+			log.Printf("recovered WAL: %d events applied, %d already checkpointed (torn tail: %v)",
+				rep.Applied, rep.Skipped, rep.Truncated)
+		}
+		log.Printf("live ingestion on (wal: %s): %d instances, %d entities, %d fused records",
+			*walDir, tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(tm),
+		Handler:           serve.NewLive(tm, ing),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if ing != nil {
+		if err := ing.Close(); err != nil {
+			log.Printf("ingester close: %v", err)
+		} else {
+			log.Printf("WAL flushed and checkpointed")
+		}
 	}
 }

@@ -16,7 +16,13 @@
 //     internal/ml, internal/clean) — the Section IV classifier;
 //   - expert sourcing for uncertain decisions (internal/expert);
 //   - fusion queries that enrich text results with structured fields
-//     (internal/fuse) — Tables IV-VI.
+//     (internal/fuse) — Tables IV-VI;
+//   - live ingestion (internal/live): streaming writes after the batch
+//     Run, acknowledged only once appended to a CRC-framed write-ahead
+//     log, applied by a batching worker pool through the incremental
+//     hooks in internal/core, and recovered after a crash by replaying
+//     the WAL over the last checkpoint. internal/serve exposes the
+//     matching POST /ingest/* endpoints and cmd/dtserver a --live mode.
 //
 // Quickstart:
 //

@@ -76,7 +76,11 @@ type StageReport struct {
 	Duration time.Duration
 }
 
-// Tamer is a configured pipeline instance.
+// Tamer is a configured pipeline instance. The batch entry points
+// (Run and its stages) are single-threaded; after a Run the incremental
+// hooks in incremental.go and all query methods are safe for concurrent
+// use — mu guards the mutable curation state (registry, global schema,
+// fused view), while the document stores carry their own locks.
 type Tamer struct {
 	cfg Config
 
@@ -90,7 +94,11 @@ type Tamer struct {
 	Cleaner   *clean.Cleaner
 	Query     *fuse.Engine
 
+	mu           sync.RWMutex
 	fused        []*record.Record // consolidated structured records, global names
+	pending      []*record.Record // translated+cleaned, awaiting consolidation
+	fusedDirty   bool             // pending records not yet folded into fused
+	dedupMatcher *dedup.Matcher   // Section IV classifier, trained once
 	matchReports []*match.Report
 	stages       []StageReport
 }
@@ -135,11 +143,15 @@ func (t *Tamer) Stages() []StageReport { return t.stages }
 
 // MatchReports returns the schema-matching reports, in integration order
 // (the Fig. 2 early-stage report is first).
-func (t *Tamer) MatchReports() []*match.Report { return t.matchReports }
+func (t *Tamer) MatchReports() []*match.Report {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.matchReports
+}
 
 // FusedRecords returns the consolidated structured records under global
-// attribute names.
-func (t *Tamer) FusedRecords() []*record.Record { return t.fused }
+// attribute names, folding in any pending incremental records first.
+func (t *Tamer) FusedRecords() []*record.Record { return t.fusedSnapshot() }
 
 func (t *Tamer) stage(name string, items int, start time.Time) {
 	t.stages = append(t.stages, StageReport{Stage: name, Items: items, Duration: time.Since(start)})
@@ -170,17 +182,28 @@ func (t *Tamer) IngestWebText() error {
 		Gazetteer: t.Parser.Gazetteer(),
 	})
 
-	t.indexStores()
+	_, entities := t.ApplyFragments(frags, 0)
+	t.stage("ingest-webtext", len(frags), start)
+	t.stage("parse-entities", entities, start)
+	return nil
+}
 
-	// Parse in parallel (the parser is read-only and safe for concurrent
-	// use), then insert serially so document ids stay deterministic.
-	type parsed struct {
-		instance *store.Doc
-		entities []*store.Doc
-	}
+// parsed is one fragment's parse output, ready for store insertion.
+type parsed struct {
+	instance *store.Doc
+	entities []*store.Doc
+}
+
+// parseFragments runs the domain-specific parser over frags with a worker
+// pool (the parser is read-only and safe for concurrent use). workers <= 0
+// uses one worker per CPU. Results keep fragment order so the subsequent
+// serial inserts stay deterministic.
+func (t *Tamer) parseFragments(frags []datagen.Fragment, workers int) []parsed {
 	results := make([]parsed, len(frags))
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > len(frags) {
 		workers = len(frags)
 	}
@@ -210,18 +233,7 @@ func (t *Tamer) IngestWebText() error {
 		}(lo, hi)
 	}
 	wg.Wait()
-
-	entities := 0
-	for _, r := range results {
-		t.Instances.Insert(r.instance)
-		for _, d := range r.entities {
-			t.Entities.Insert(d)
-			entities++
-		}
-	}
-	t.stage("ingest-webtext", len(frags), start)
-	t.stage("parse-entities", entities, start)
-	return nil
+	return results
 }
 
 // indexStores creates the standard index sets: 1 index on dt.instance and
@@ -248,6 +260,8 @@ func (t *Tamer) ImportFTables() error {
 		Sources: t.cfg.FTSources,
 		Seed:    t.cfg.Seed,
 	})
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, src := range sources {
 		t.Registry.Register(src)
 		ss := schema.FromSource(src)
@@ -314,6 +328,8 @@ func simulatedTruth(m match.AttrMatch, e *match.Engine, newAttr string) string {
 // different sources) into one record per entity.
 func (t *Tamer) CleanAndConsolidate() error {
 	start := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var translated []*record.Record
 	for _, src := range t.Registry.Sources() {
 		for _, r := range src.Records {
@@ -321,22 +337,48 @@ func (t *Tamer) CleanAndConsolidate() error {
 		}
 	}
 	t.Cleaner.ApplyAll(translated)
-
-	matcher := t.trainDedupMatcher()
-	deduper := &dedup.Deduper{
-		Blocker: dedup.PrefixBlocker("SHOW_NAME", 4),
-		Matcher: matcher,
-	}
-	clusters := deduper.Run(translated)
-	t.fused = t.fused[:0]
-	for _, c := range clusters {
-		t.fused = append(t.fused, c.Record)
-	}
-	sort.Slice(t.fused, func(i, j int) bool {
-		return t.fused[i].GetString("SHOW_NAME") < t.fused[j].GetString("SHOW_NAME")
-	})
+	t.fused = sortFused(consolidate(translated, t.matcherLocked()))
+	t.pending = nil
+	t.fusedDirty = false
 	t.stage("clean-consolidate", len(t.fused), start)
 	return nil
+}
+
+// sortFused orders the fused view by show name, in place.
+func sortFused(recs []*record.Record) []*record.Record {
+	sort.Slice(recs, func(i, j int) bool {
+		return recs[i].GetString("SHOW_NAME") < recs[j].GetString("SHOW_NAME")
+	})
+	return recs
+}
+
+// fusedBlocker is the blocking scheme of the fused view, shared by full
+// consolidation and the block-scoped incremental refresh.
+var fusedBlocker = dedup.PrefixBlocker("SHOW_NAME", 4)
+
+// consolidate runs entity consolidation over records and returns the
+// merged records, unordered — callers sort once via sortFused, so the
+// incremental path does not pay for an ordering it immediately discards.
+func consolidate(records []*record.Record, matcher *dedup.Matcher) []*record.Record {
+	deduper := &dedup.Deduper{
+		Blocker: fusedBlocker,
+		Matcher: matcher,
+	}
+	clusters := deduper.Run(records)
+	fused := make([]*record.Record, 0, len(clusters))
+	for _, c := range clusters {
+		fused = append(fused, c.Record)
+	}
+	return fused
+}
+
+// matcherLocked returns the cached dedup matcher, training it on first use.
+// Must hold t.mu.
+func (t *Tamer) matcherLocked() *dedup.Matcher {
+	if t.dedupMatcher == nil {
+		t.dedupMatcher = t.trainDedupMatcher()
+	}
+	return t.dedupMatcher
 }
 
 // trainDedupMatcher fits the ML match classifier on generated labeled pairs
@@ -401,7 +443,7 @@ func (t *Tamer) QueryWebText(show string) *record.Record {
 // consolidated structured record for the show.
 func (t *Tamer) QueryFused(show string) *record.Record {
 	web := t.Query.WebTextRecord(show)
-	matches := fuse.Lookup(t.fused, "SHOW_NAME", show)
+	matches := fuse.Lookup(t.fusedSnapshot(), "SHOW_NAME", show)
 	if len(matches) == 0 {
 		return web
 	}
@@ -411,13 +453,13 @@ func (t *Tamer) QueryFused(show string) *record.Record {
 // CheapestShows ranks consolidated shows by price ascending — the "best
 // price possible" side of the demo narrative.
 func (t *Tamer) CheapestShows(k int) []fuse.PricedShow {
-	return fuse.CheapestShows(t.fused, k)
+	return fuse.CheapestShows(t.fusedSnapshot(), k)
 }
 
 // FusionCoverage reports per-attribute fill rates of the consolidated
 // records for the Table VI attributes.
 func (t *Tamer) FusionCoverage() []fuse.Coverage {
-	return fuse.AttributeCoverage(t.fused, fuse.TableVIOrder[:3])
+	return fuse.AttributeCoverage(t.fusedSnapshot(), fuse.TableVIOrder[:3])
 }
 
 // ClassifierCV runs the Section IV evaluation for one entity type: 10-fold

@@ -22,13 +22,22 @@ type Source struct {
 
 // NewSource builds a source from records, stamping provenance on each.
 func NewSource(name string, recs []*record.Record) *Source {
+	s := &Source{Name: name}
+	s.Append(recs)
+	return s
+}
+
+// Append adds records to the source, stamping provenance and continuing
+// the ID sequence — the incremental counterpart of NewSource.
+func (s *Source) Append(recs []*record.Record) {
+	base := len(s.Records)
 	for i, r := range recs {
-		r.Source = name
+		r.Source = s.Name
 		if r.ID == "" {
-			r.ID = fmt.Sprintf("%s#%d", name, i)
+			r.ID = fmt.Sprintf("%s#%d", s.Name, base+i)
 		}
 	}
-	return &Source{Name: name, Records: recs}
+	s.Records = append(s.Records, recs...)
 }
 
 // Attributes returns the union of attribute names across records, in first-
@@ -121,22 +130,33 @@ func ReadJSON(name string, r io.Reader) (*Source, error) {
 	}
 	var recs []*record.Record
 	for i, row := range rows {
-		rec := record.New()
-		keys := make([]string, 0, len(row))
-		for k := range row {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			v, err := jsonValue(row[k])
-			if err != nil {
-				return nil, fmt.Errorf("ingest: %s row %d field %s: %w", name, i, k, err)
-			}
-			rec.Set(k, v)
+		rec, err := RecordFromMap(row)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s row %d: %w", name, i, err)
 		}
 		recs = append(recs, rec)
 	}
 	return NewSource(name, recs), nil
+}
+
+// RecordFromMap builds a flat record from one decoded JSON object, applying
+// the same per-value conversion ReadJSON uses. Keys are set in sorted order
+// so record shape is deterministic.
+func RecordFromMap(row map[string]any) (*record.Record, error) {
+	rec := record.New()
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := jsonValue(row[k])
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", k, err)
+		}
+		rec.Set(k, v)
+	}
+	return rec, nil
 }
 
 func jsonValue(v any) (record.Value, error) {

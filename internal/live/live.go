@@ -1,0 +1,602 @@
+// Package live is the streaming ingestion subsystem: it makes a Data Tamer
+// pipeline continuously updatable after the initial batch Run. Writers hand
+// the Ingester new web-text fragments and structured records at runtime;
+// each write is appended to a CRC-framed write-ahead log and flushed before
+// it is acknowledged, then applied asynchronously by a batching worker that
+// drives the incremental hooks in internal/core (extract -> shard insert ->
+// index maintenance -> incremental consolidation -> fused-view refresh).
+//
+// Durability: an acknowledged write survives a process kill. Recovery
+// replays the WAL over the last checkpoint (store snapshots + fused view),
+// fenced by sequence numbers so a crash between checkpoint and WAL
+// rotation cannot double-apply events; checkpoints are committed
+// atomically (epoch directory + meta rename), so a crash mid-checkpoint
+// falls back to the previous one. Backpressure: the apply queue is
+// bounded, so writers block once the pipeline falls behind.
+//
+// Known limitations: checkpoints persist the document stores and the fused
+// view but not the registry/global-schema deltas produced by live record
+// sources — after a recovery those sources re-integrate their attributes
+// on the next write. Threshold-based match decisions are deterministic and
+// re-derive identically; decisions that went to the simulated expert pool
+// may resolve differently. Record identity is unaffected: live record IDs
+// are stamped from WAL sequence numbers, which stay monotonic across
+// restarts. Poison events — acknowledged writes whose apply fails
+// deterministically — are dropped and counted (Stats.ApplyErrors during
+// operation, Stats.ReplayErrors during recovery) rather than wedging the
+// queue, and are fenced away by the next checkpoint.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+// Fragment is one web-text fragment with its crawl URL.
+type Fragment = datagen.Fragment
+
+// ErrClosed is returned by writes against a closed ingester.
+var ErrClosed = errors.New("live: ingester closed")
+
+// Config sizes the ingester.
+type Config struct {
+	// Dir holds the WAL and checkpoints. Required.
+	Dir string
+	// BatchSize caps events per apply batch (default 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may wait (default 200ms).
+	FlushInterval time.Duration
+	// Workers is the parse worker count per batch (default: one per CPU).
+	Workers int
+	// QueueDepth bounds acknowledged-but-unapplied events; writers block
+	// beyond it (default 1024).
+	QueueDepth int
+	// MaxQueueBytes bounds the total payload bytes of acknowledged-but-
+	// unapplied events, so many large bodies cannot collectively exhaust
+	// memory within the event-count bound (default 64 MB).
+	MaxQueueBytes int64
+	// Fsync fsyncs the WAL on every append (power-failure durability;
+	// default off: flushed to the OS, surviving process kill).
+	Fsync bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxQueueBytes <= 0 {
+		c.MaxQueueBytes = 64 << 20
+	}
+	return c
+}
+
+// event is one acknowledged write awaiting apply.
+type event struct {
+	kind   byte
+	size   int // encoded payload bytes, charged against MaxQueueBytes
+	frags  []Fragment
+	source string
+	recs   []*record.Record
+}
+
+// Ingester accepts live writes against a pipeline.
+type Ingester struct {
+	cfg    Config
+	tamer  *core.Tamer
+	wal    *wal
+	replay store.EventReplayStats
+
+	// ingestMu serializes WAL append + enqueue so apply order matches log
+	// order; Checkpoint holds it to stall writers during a snapshot. epoch
+	// (the committed checkpoint generation) and replayErrors (events
+	// dropped during Open's recovery) are written only under it or before
+	// the ingester is shared.
+	ingestMu     sync.Mutex
+	epoch        uint64
+	replayErrors int
+
+	queue   chan event
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     int   // acked events not yet applied
+	queuedBytes int64 // payload bytes of those events
+	closed      bool
+	applyErr    error // most recent apply failure, surfaced in Stats
+
+	textEvents, recordEvents   atomic.Int64
+	fragments, records         atomic.Int64
+	instances, entities        atomic.Int64
+	batches, refreshes         atomic.Int64
+	batchNanos, lastBatchNanos atomic.Int64
+	applyErrors                atomic.Int64
+}
+
+// Open starts an ingester over t, recovering any state left in cfg.Dir: it
+// loads the last checkpoint (when present), replays the WAL tail over it,
+// re-checkpoints the recovered state, and begins a fresh WAL. The pipeline
+// t should have completed its batch Run (or LoadStores) first.
+func Open(t *core.Tamer, cfg Config) (*Ingester, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("live: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: creating dir: %w", err)
+	}
+	ing := &Ingester{
+		cfg:     cfg,
+		tamer:   t,
+		queue:   make(chan event, cfg.QueueDepth),
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	ing.cond = sync.NewCond(&ing.mu)
+
+	meta, hasCheckpoint, err := readMeta(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if hasCheckpoint {
+		cpDir := epochDir(cfg.Dir, meta.Epoch)
+		if err := t.LoadStores(cpDir); err != nil {
+			return nil, fmt.Errorf("live: loading checkpoint: %w", err)
+		}
+		fused, err := loadFused(filepath.Join(cpDir, fusedName))
+		if err != nil {
+			return nil, fmt.Errorf("live: loading fused checkpoint: %w", err)
+		}
+		t.RestoreFused(fused)
+		ing.epoch = meta.Epoch
+	}
+
+	walPath := filepath.Join(cfg.Dir, walName)
+	ing.replay, err = replayWAL(walPath, meta.LastSeq, ing.applyReplayed)
+	if err != nil {
+		return nil, fmt.Errorf("live: wal replay: %w", err)
+	}
+	t.RefreshFused()
+
+	// Re-checkpoint the recovered state and start a clean WAL whose
+	// sequence numbers continue past everything ever logged. When a valid
+	// checkpoint exists and the replay changed nothing, it is already a
+	// correct fence — skip rewriting the snapshots.
+	nextSeq := meta.LastSeq + 1
+	if ing.replay.LastSeq >= nextSeq {
+		nextSeq = ing.replay.LastSeq + 1
+	}
+	cleanRestart := hasCheckpoint && ing.replay.Applied == 0 &&
+		ing.replayErrors == 0 && !ing.replay.Truncated
+	if cleanRestart {
+		// Still sweep epoch directories left by a crash mid-checkpoint.
+		dropStaleEpochs(cfg.Dir, ing.epoch)
+	} else if err := ing.checkpointState(nextSeq - 1); err != nil {
+		return nil, err
+	}
+	ing.wal, err = createWAL(walPath, nextSeq, cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+
+	ing.wg.Add(1)
+	go ing.applierLoop()
+	return ing, nil
+}
+
+// applyReplayed applies one recovered WAL event synchronously during Open.
+// A poisoned event — undecodable, or rejected by the apply hooks — is
+// counted and skipped rather than returned, mirroring the live path (which
+// records the error and keeps going): one bad event must not make every
+// subsequent startup fail.
+func (ing *Ingester) applyReplayed(kind byte, payload []byte) error {
+	switch kind {
+	case evText:
+		frags, err := decodeText(payload)
+		if err != nil {
+			ing.replayErrors++
+			return nil
+		}
+		ni, ne := ing.tamer.ApplyFragments(frags, ing.cfg.Workers)
+		ing.instances.Add(int64(ni))
+		ing.entities.Add(int64(ne))
+		ing.fragments.Add(int64(len(frags)))
+	case evRecords:
+		source, recs, err := decodeRecords(payload)
+		if err != nil {
+			ing.replayErrors++
+			return nil
+		}
+		if _, err := ing.tamer.ApplyRecords(source, recs); err != nil {
+			ing.replayErrors++
+			return nil
+		}
+		ing.records.Add(int64(len(recs)))
+	default:
+		ing.replayErrors++
+	}
+	return nil
+}
+
+// IngestText durably logs a batch of web-text fragments and queues them
+// for apply. When it returns nil the write is acknowledged: it survives a
+// process kill even if it has not been applied yet.
+func (ing *Ingester) IngestText(frags []Fragment) error {
+	if len(frags) == 0 {
+		return nil
+	}
+	if err := ing.enqueue(event{kind: evText, frags: frags}, encodeText(frags)); err != nil {
+		return err
+	}
+	ing.textEvents.Add(1)
+	return nil
+}
+
+// IngestRecords durably logs a batch of structured records from one source
+// and queues them for apply. Records without an ID are stamped with one
+// derived from the WAL sequence number, so identity survives crash
+// recovery and cannot collide with records ingested after a restart.
+func (ing *Ingester) IngestRecords(source string, recs []*record.Record) error {
+	if source == "" {
+		return fmt.Errorf("live: ingest records: empty source name")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	ing.ingestMu.Lock()
+	defer ing.ingestMu.Unlock()
+	// All appends hold ingestMu, so the next sequence number is stable here.
+	seq := ing.wal.nextSeq()
+	var stamped []*record.Record
+	for i, r := range recs {
+		if r.ID == "" {
+			r.ID = fmt.Sprintf("%s#w%d-%d", source, seq, i)
+			stamped = append(stamped, r)
+		}
+	}
+	if err := ing.enqueueLocked(event{kind: evRecords, source: source, recs: recs}, encodeRecords(source, recs)); err != nil {
+		// A failed append does not consume the sequence number; clear the
+		// IDs stamped from it so a retry cannot collide with a later write.
+		for _, r := range stamped {
+			r.ID = ""
+		}
+		return err
+	}
+	ing.recordEvents.Add(1)
+	return nil
+}
+
+func (ing *Ingester) enqueue(ev event, payload []byte) error {
+	ing.ingestMu.Lock()
+	defer ing.ingestMu.Unlock()
+	return ing.enqueueLocked(ev, payload)
+}
+
+// enqueueLocked appends to the WAL (the acknowledgment point) and hands the
+// event to the applier. Must hold ingestMu.
+func (ing *Ingester) enqueueLocked(ev event, payload []byte) error {
+	ev.size = len(payload)
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return ErrClosed
+	}
+	// Byte-budget backpressure on top of the event-count bound. Waiting
+	// cannot stall forever: the budget only fills while events are
+	// pending, and the applier (alive until Close, which needs ingestMu —
+	// held here) drains them and broadcasts.
+	for ing.queuedBytes >= ing.cfg.MaxQueueBytes && ing.pending > 0 {
+		ing.cond.Wait()
+	}
+	ing.pending++
+	ing.queuedBytes += int64(ev.size)
+	ing.mu.Unlock()
+	if _, err := ing.wal.append(ev.kind, payload); err != nil {
+		ing.unaccount(1, int64(ev.size))
+		return err
+	}
+	// A plain blocking send cannot deadlock, for the same reason waiting
+	// on the byte budget cannot.
+	ing.queue <- ev
+	return nil
+}
+
+// unaccount releases n events and b payload bytes from the pending
+// accounting and wakes Flush and backpressure waiters.
+func (ing *Ingester) unaccount(n int, b int64) {
+	ing.mu.Lock()
+	ing.pending -= n
+	ing.queuedBytes -= b
+	ing.cond.Broadcast()
+	ing.mu.Unlock()
+}
+
+// applierLoop drains the queue into batches and applies them.
+func (ing *Ingester) applierLoop() {
+	defer ing.wg.Done()
+	timer := time.NewTimer(ing.cfg.FlushInterval)
+	defer timer.Stop()
+	var batch []event
+	for {
+		select {
+		case ev := <-ing.queue:
+			batch = append(batch, ev)
+			if len(batch) >= ing.cfg.BatchSize {
+				batch = ing.applyBatch(batch)
+			}
+		case <-timer.C:
+			batch = ing.applyBatch(ing.drain(batch))
+			timer.Reset(ing.cfg.FlushInterval)
+		case <-ing.flushCh:
+			batch = ing.applyBatch(ing.drain(batch))
+		case <-ing.done:
+			ing.applyBatch(ing.drain(batch))
+			return
+		}
+	}
+}
+
+// drain appends every immediately available queued event to batch.
+func (ing *Ingester) drain(batch []event) []event {
+	for {
+		select {
+		case ev := <-ing.queue:
+			batch = append(batch, ev)
+		default:
+			return batch
+		}
+	}
+}
+
+// applyBatch pushes one batch through the incremental pipeline: all text
+// fragments in one parse-pool pass, record batches in log order, then one
+// fused-view refresh. Returns a nil batch for reuse.
+func (ing *Ingester) applyBatch(batch []event) []event {
+	if len(batch) == 0 {
+		ing.cond.Broadcast() // wake Flush waiters even on empty flushes
+		return nil
+	}
+	start := time.Now()
+	var frags []Fragment
+	for _, ev := range batch {
+		if ev.kind == evText {
+			frags = append(frags, ev.frags...)
+		}
+	}
+	if len(frags) > 0 {
+		ni, ne := ing.tamer.ApplyFragments(frags, ing.cfg.Workers)
+		ing.instances.Add(int64(ni))
+		ing.entities.Add(int64(ne))
+		ing.fragments.Add(int64(len(frags)))
+	}
+	gotRecords := false
+	for _, ev := range batch {
+		if ev.kind != evRecords {
+			continue
+		}
+		if _, err := ing.tamer.ApplyRecords(ev.source, ev.recs); err != nil {
+			// Poison event: it would fail identically on every retry and on
+			// replay, so drop it and count it rather than wedging the queue.
+			ing.mu.Lock()
+			ing.applyErr = err
+			ing.mu.Unlock()
+			ing.applyErrors.Add(1)
+			continue
+		}
+		gotRecords = true
+		ing.records.Add(int64(len(ev.recs)))
+	}
+	if gotRecords {
+		ing.tamer.RefreshFused()
+		ing.refreshes.Add(1)
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	ing.batches.Add(1)
+	ing.batchNanos.Add(elapsed)
+	ing.lastBatchNanos.Store(elapsed)
+	var bytes int64
+	for _, ev := range batch {
+		bytes += int64(ev.size)
+	}
+	ing.unaccount(len(batch), bytes)
+	return nil
+}
+
+// Flush blocks until every acknowledged write has been applied (or dropped
+// as poison — see Stats.ApplyErrors), so queries issued after it returns
+// observe all prior ingests.
+func (ing *Ingester) Flush() error {
+	ing.mu.Lock()
+	for ing.pending > 0 {
+		select {
+		case ing.flushCh <- struct{}{}:
+		default:
+		}
+		ing.cond.Wait()
+	}
+	ing.mu.Unlock()
+	return nil
+}
+
+// Checkpoint stalls writers, drains the queue, snapshots the stores and
+// fused view, and truncates the WAL. Recovery after a checkpoint replays
+// only events logged after it.
+func (ing *Ingester) Checkpoint() error {
+	ing.ingestMu.Lock()
+	defer ing.ingestMu.Unlock()
+	if err := ing.Flush(); err != nil {
+		return err
+	}
+	if err := ing.checkpointState(ing.wal.lastSeq()); err != nil {
+		return err
+	}
+	return ing.wal.rotate()
+}
+
+// checkpointState writes the store snapshots and fused view into a fresh
+// epoch directory, then commits it by renaming the meta file into place —
+// only after the commit does the new fence take effect, so a crash at any
+// earlier point leaves the previous checkpoint authoritative. Must hold
+// ingestMu (or be called before the ingester is shared).
+func (ing *Ingester) checkpointState(lastSeq uint64) error {
+	next := ing.epoch + 1
+	cpDir := epochDir(ing.cfg.Dir, next)
+	if err := ing.tamer.SaveStores(cpDir); err != nil {
+		return fmt.Errorf("live: checkpoint stores: %w", err)
+	}
+	if err := saveFused(filepath.Join(cpDir, fusedName), ing.tamer.FusedRecords()); err != nil {
+		return fmt.Errorf("live: checkpoint fused view: %w", err)
+	}
+	if ing.cfg.Fsync {
+		// The epoch must be durable before the meta commit, and the commit
+		// durable before any caller truncates the WAL it fences.
+		if err := syncTree(cpDir); err != nil {
+			return fmt.Errorf("live: syncing checkpoint: %w", err)
+		}
+	}
+	if err := writeMeta(ing.cfg.Dir, checkpointMeta{LastSeq: lastSeq, Epoch: next}, ing.cfg.Fsync); err != nil {
+		return err
+	}
+	if ing.cfg.Fsync {
+		if err := syncPath(ing.cfg.Dir); err != nil {
+			return fmt.Errorf("live: syncing checkpoint dir: %w", err)
+		}
+	}
+	ing.epoch = next
+	dropStaleEpochs(ing.cfg.Dir, next)
+	return nil
+}
+
+// Close drains and applies every acknowledged write, checkpoints, and
+// releases the WAL. Further writes return ErrClosed.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+
+	ing.ingestMu.Lock()
+	defer ing.ingestMu.Unlock()
+	err := ing.Flush()
+	close(ing.done)
+	ing.wg.Wait()
+	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil {
+		err = cerr
+	}
+	if cerr := ing.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Replay reports what Open recovered from the WAL.
+func (ing *Ingester) Replay() store.EventReplayStats { return ing.replay }
+
+// HasCheckpoint reports whether dir holds a committed checkpoint, i.e.
+// whether Open will restore store state rather than keep the pipeline's
+// current contents. Callers can use it to skip rebuilding state that a
+// recovery would immediately replace.
+func HasCheckpoint(dir string) bool {
+	_, ok, err := readMeta(dir)
+	return err == nil && ok
+}
+
+// Stats is a point-in-time snapshot of the ingester, the /live/stats view.
+type Stats struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Pending       int   `json:"pending_events"`
+	QueuedBytes   int64 `json:"queued_bytes"`
+
+	TextEvents   int64 `json:"text_events"`
+	RecordEvents int64 `json:"record_events"`
+	Fragments    int64 `json:"fragments_ingested"`
+	Records      int64 `json:"records_ingested"`
+	Instances    int64 `json:"instances_inserted"`
+	Entities     int64 `json:"entities_inserted"`
+
+	Batches        int64   `json:"batches"`
+	AvgBatchMs     float64 `json:"avg_batch_ms"`
+	LastBatchMs    float64 `json:"last_batch_ms"`
+	FusedRefreshes int64   `json:"fused_refreshes"`
+	FusedDirty     bool    `json:"fused_dirty"`
+	ApplyErrors    int64   `json:"apply_errors"`
+
+	WALSizeBytes    int64  `json:"wal_size_bytes"`
+	WALEvents       int64  `json:"wal_events"`
+	NextSeq         uint64 `json:"next_seq"`
+	ReplayApplied   int    `json:"replay_applied"`
+	ReplaySkipped   int    `json:"replay_skipped"`
+	ReplayErrors    int    `json:"replay_errors"`
+	ReplayTruncated bool   `json:"replay_truncated"`
+
+	Closed    bool   `json:"closed"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the ingester's counters.
+func (ing *Ingester) Stats() Stats {
+	ing.mu.Lock()
+	pending := ing.pending
+	queuedBytes := ing.queuedBytes
+	closed := ing.closed
+	applyErr := ing.applyErr
+	ing.mu.Unlock()
+	s := Stats{
+		QueueDepth:      len(ing.queue),
+		QueueCapacity:   cap(ing.queue),
+		QueuedBytes:     queuedBytes,
+		Pending:         pending,
+		TextEvents:      ing.textEvents.Load(),
+		RecordEvents:    ing.recordEvents.Load(),
+		Fragments:       ing.fragments.Load(),
+		Records:         ing.records.Load(),
+		Instances:       ing.instances.Load(),
+		Entities:        ing.entities.Load(),
+		Batches:         ing.batches.Load(),
+		FusedRefreshes:  ing.refreshes.Load(),
+		FusedDirty:      ing.tamer.FusedDirty(),
+		ApplyErrors:     ing.applyErrors.Load(),
+		WALSizeBytes:    ing.wal.sizeBytes(),
+		WALEvents:       ing.wal.eventCount(),
+		NextSeq:         ing.wal.nextSeq(),
+		ReplayApplied:   ing.replay.Applied,
+		ReplaySkipped:   ing.replay.Skipped,
+		ReplayErrors:    ing.replayErrors,
+		ReplayTruncated: ing.replay.Truncated,
+		Closed:          closed,
+	}
+	if n := s.Batches; n > 0 {
+		s.AvgBatchMs = float64(ing.batchNanos.Load()) / float64(n) / 1e6
+	}
+	s.LastBatchMs = float64(ing.lastBatchNanos.Load()) / 1e6
+	if applyErr != nil {
+		s.LastError = applyErr.Error()
+	}
+	return s
+}

@@ -1,0 +1,497 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuse"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+// liveTamer builds and batch-runs a small pipeline.
+func liveTamer(t testing.TB) *core.Tamer {
+	t.Helper()
+	tm := core.New(core.Config{Fragments: 120, FTSources: 3, Shards: 2, Seed: 7})
+	if err := tm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func fragmentAt(i int) Fragment {
+	return Fragment{
+		URL:  fmt.Sprintf("http://live.example.com/feed/%d", i),
+		Text: fmt.Sprintf("Review %d: Matilda an award-winning import from London, grossed 960,998 this week.", i),
+	}
+}
+
+// showRecord is a structured record for a show name unseen in the batch run.
+func showRecord(show string, price int64) *record.Record {
+	r := record.New()
+	r.Set("SHOW_NAME", record.String(show))
+	r.Set("THEATER", record.String("Imperial"))
+	r.Set("CHEAPEST_PRICE", record.Int(price))
+	return r
+}
+
+func TestIngestTextAndRecordsReflectedInQueries(t *testing.T) {
+	tm := liveTamer(t)
+	base := tm.InstanceStats().Count
+	ing, err := Open(tm, Config{Dir: t.TempDir(), BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := ing.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.IngestRecords("live_src", []*record.Record{showRecord("Zanzibar Nights", 59)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tm.InstanceStats().Count; got != base+10 {
+		t.Errorf("instance count = %d, want %d", got, base+10)
+	}
+	if hits := fuse.Lookup(tm.FusedRecords(), "SHOW_NAME", "Zanzibar Nights"); len(hits) != 1 {
+		t.Fatalf("fused lookup = %d records, want 1", len(hits))
+	} else if hits[0].GetString("THEATER") != "Imperial" {
+		t.Errorf("fused record = %v", hits[0])
+	}
+
+	st := ing.Stats()
+	if st.TextEvents != 10 || st.RecordEvents != 1 || st.Fragments != 10 || st.Records != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Batches == 0 || st.FusedRefreshes == 0 {
+		t.Errorf("no batches/refreshes recorded: %+v", st)
+	}
+	if st.Pending != 0 || st.LastError != "" {
+		t.Errorf("stats after flush = %+v", st)
+	}
+}
+
+func TestConcurrentIngestUnderRace(t *testing.T) {
+	tm := liveTamer(t)
+	base := tm.InstanceStats().Count
+	ing, err := Open(tm, Config{Dir: t.TempDir(), BatchSize: 8, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	const writers, perWriter = 8, 20
+	// Distinct names so entity consolidation does not merge them.
+	shows := []string{"Aurora Falls", "Brooklyn Tide", "Crimson Alley", "Dune Sparrow",
+		"Ember Lane", "Foxglove Hour", "Gilded Harbor", "Hollow Crown"}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := ing.IngestText([]Fragment{fragmentAt(w*1000 + i)}); err != nil {
+					errs <- err
+					return
+				}
+				// Interleave queries with writes.
+				_ = tm.QueryFused("Matilda")
+				_ = tm.EntityStats()
+			}
+			if w%2 == 0 {
+				errs <- ing.IngestRecords(fmt.Sprintf("live_src_%d", w),
+					[]*record.Record{showRecord(shows[w], int64(40+w))})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.InstanceStats().Count; got != base+writers*perWriter {
+		t.Errorf("instance count = %d, want %d", got, base+writers*perWriter)
+	}
+	if hits := fuse.Lookup(tm.FusedRecords(), "SHOW_NAME", shows[2]); len(hits) != 1 {
+		t.Errorf("fused lookup after concurrent ingest = %d", len(hits))
+	}
+}
+
+func TestCrashRecoveryReplaysAcknowledgedWrites(t *testing.T) {
+	dir := t.TempDir()
+	tm1 := liveTamer(t)
+	ing1, err := Open(tm1, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing1.IngestRecords("live_src", []*record.Record{showRecord("Phoenix Rising", 75)}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Flush, no Close. Acknowledged writes are already in the WAL.
+
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+
+	rep := ing2.Replay()
+	if rep.Applied != 6 {
+		t.Errorf("replay applied = %d, want 6 (%+v)", rep.Applied, rep)
+	}
+	if got, want := tm2.InstanceStats().Count, tm1.InstanceStats().Count; got < want {
+		// tm1 may or may not have applied before the simulated crash, but
+		// tm2 must have everything that was acknowledged.
+		t.Errorf("recovered instance count = %d, want >= %d", got, want)
+	}
+	if hits := fuse.Lookup(tm2.FusedRecords(), "SHOW_NAME", "Phoenix Rising"); len(hits) != 1 {
+		t.Errorf("fused record lost in crash: %d hits", len(hits))
+	}
+}
+
+func TestTornWALTailRecoversCleanly(t *testing.T) {
+	dir := t.TempDir()
+	tm1 := liveTamer(t)
+	ing1, err := Open(tm1, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-write: shear bytes off the last WAL frame.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	rep := ing2.Replay()
+	if !rep.Truncated {
+		t.Error("torn tail not detected")
+	}
+	if rep.Applied != 2 {
+		t.Errorf("replay applied = %d, want 2 (%+v)", rep.Applied, rep)
+	}
+}
+
+func TestCheckpointFencesDoubleApply(t *testing.T) {
+	dir := t.TempDir()
+	tm1 := liveTamer(t)
+	ing1, err := Open(tm1, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	applied := tm1.InstanceStats().Count
+	walPath := filepath.Join(dir, walName)
+	preCheckpoint, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between writing the checkpoint and rotating the
+	// WAL: the old WAL (with already-applied events) reappears on disk.
+	if err := os.WriteFile(walPath, preCheckpoint, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	rep := ing2.Replay()
+	if rep.Applied != 0 || rep.Skipped != 4 {
+		t.Errorf("replay = %+v, want 0 applied / 4 skipped", rep)
+	}
+	if got := tm2.InstanceStats().Count; got != applied {
+		t.Errorf("instance count after fenced recovery = %d, want %d", got, applied)
+	}
+}
+
+func TestCloseCheckpointsAndRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	tm := liveTamer(t)
+	ing, err := Open(tm, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.IngestText([]Fragment{fragmentAt(1)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close = %v, want ErrClosed", err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+
+	// Reopen: everything is in the checkpoint, nothing left to replay.
+	count := tm.InstanceStats().Count
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	if rep := ing2.Replay(); rep.Applied != 0 {
+		t.Errorf("replay after clean close = %+v", rep)
+	}
+	if got := tm2.InstanceStats().Count; got != count {
+		t.Errorf("instance count = %d, want %d", got, count)
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	rec := showRecord("Round Trip", 42)
+	rec.Source = "src"
+	rec.ID = "src#0"
+	payload := encodeRecords("src", []*record.Record{rec})
+	source, recs, err := decodeRecords(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "src" || len(recs) != 1 {
+		t.Fatalf("decoded %q, %d records", source, len(recs))
+	}
+	got := recs[0]
+	if got.Source != "src" || got.ID != "src#0" {
+		t.Errorf("provenance = %q/%q", got.Source, got.ID)
+	}
+	if !got.Equal(rec) {
+		t.Errorf("record mismatch: %v vs %v", got, rec)
+	}
+	if v, _ := got.Get("CHEAPEST_PRICE"); v.Kind() != record.KindInt {
+		t.Errorf("price kind = %v, want int", v.Kind())
+	}
+}
+
+func TestPoisonWALEventDoesNotBrickRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-craft a WAL with good events around an unknown kind and an
+	// undecodable payload — e.g. written by a newer version or corrupted
+	// in a way CRC framing cannot see.
+	f, err := os.Create(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := store.NewEventLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Append(evText, encodeText([]Fragment{fragmentAt(1)}))
+	lg.Append(99, []byte("mystery"))
+	lg.Append(evText, []byte{0xff, 0xff, 0xff})
+	lg.Append(evText, encodeText([]Fragment{fragmentAt(2)}))
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tm := liveTamer(t)
+	base := tm.InstanceStats().Count
+	ing, err := Open(tm, Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("poison event bricked recovery: %v", err)
+	}
+	defer ing.Close()
+	st := ing.Stats()
+	if st.ReplayErrors != 2 {
+		t.Errorf("replay errors = %d, want 2", st.ReplayErrors)
+	}
+	if got := tm.InstanceStats().Count; got != base+2 {
+		t.Errorf("instance count = %d, want %d (good events around the poison)", got, base+2)
+	}
+}
+
+func TestCheckpointCommitIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	tm := liveTamer(t)
+	ing, err := Open(tm, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	count := tm.InstanceStats().Count
+	// Crash mid-next-checkpoint: an uncommitted epoch directory exists with
+	// garbage contents, but the meta file still names the committed epoch.
+	stale := epochDir(dir, 99)
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, fusedName), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("uncommitted checkpoint dir broke recovery: %v", err)
+	}
+	defer ing2.Close()
+	if got := tm2.InstanceStats().Count; got != count {
+		t.Errorf("instance count = %d, want %d", got, count)
+	}
+	// The stale epoch was swept once a new checkpoint committed.
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale epoch dir still present")
+	}
+}
+
+func TestLiveRecordIDsUniqueAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	tm1 := liveTamer(t)
+	ing1, err := Open(tm1, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := showRecord("Ivory Gate", 51)
+	if err := ing1.IngestRecords("feed", []*record.Record{r1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	r2 := showRecord("Jade Lantern", 62)
+	if err := ing2.IngestRecords("feed", []*record.Record{r2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID == "" || r2.ID == "" || r1.ID == r2.ID {
+		t.Errorf("live record IDs collide across restart: %q vs %q", r1.ID, r2.ID)
+	}
+}
+
+func TestWALCodecEmptyTrailingStrings(t *testing.T) {
+	// A zero-length string as the final field of a payload must round-trip;
+	// losing it would drop an acknowledged event during crash replay.
+	frags, err := decodeText(encodeText([]Fragment{{URL: "u", Text: ""}}))
+	if err != nil {
+		t.Fatalf("empty trailing text: %v", err)
+	}
+	if len(frags) != 1 || frags[0].URL != "u" || frags[0].Text != "" {
+		t.Errorf("frags = %+v", frags)
+	}
+	if frags, err = decodeText(encodeText([]Fragment{{URL: "", Text: ""}})); err != nil || len(frags) != 1 {
+		t.Errorf("all-empty fragment: %v, %+v", err, frags)
+	}
+	rec := record.New()
+	rec.Set("NOTES", record.String(""))
+	source, recs, err := decodeRecords(encodeRecords("s", []*record.Record{rec}))
+	if err != nil || source != "s" || len(recs) != 1 {
+		t.Errorf("empty-valued record: %v, %q, %d", err, source, len(recs))
+	}
+}
+
+func TestCleanRestartSkipsRecheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	tm1 := liveTamer(t)
+	ing1, err := Open(tm1, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing1.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	meta1, ok, err := readMeta(dir)
+	if err != nil || !ok {
+		t.Fatalf("meta after close: %v %v", ok, err)
+	}
+	// Clean restart: nothing to replay, so the existing checkpoint must be
+	// kept as-is rather than rewritten under a new epoch.
+	tm2 := liveTamer(t)
+	ing2, err := Open(tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, _, err := readMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Epoch != meta1.Epoch || meta2.LastSeq != meta1.LastSeq {
+		t.Errorf("clean restart rewrote checkpoint: %+v -> %+v", meta1, meta2)
+	}
+	// And the fence still works for writes made after the clean restart.
+	if err := ing2.IngestText([]Fragment{fragmentAt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	count := tm2.InstanceStats().Count
+	if err := ing2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tm3 := liveTamer(t)
+	ing3, err := Open(tm3, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing3.Close()
+	if got := tm3.InstanceStats().Count; got != count {
+		t.Errorf("instance count after restart chain = %d, want %d", got, count)
+	}
+}

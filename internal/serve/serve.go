@@ -1,5 +1,7 @@
 // Package serve exposes a fused pipeline over HTTP with JSON endpoints —
-// the integration surface a deployment of this system would offer:
+// the integration surface a deployment of this system would offer.
+//
+// Read endpoints (always available):
 //
 //	GET /stats                  Tables I-II store statistics
 //	GET /types                  Table III type distribution
@@ -7,6 +9,16 @@
 //	GET /show?name=Matilda      Table V (web text) and Table VI (fused) views
 //	GET /find?q=expr&limit=10   filter-language query over the entity store
 //	GET /cheapest?k=5           best-price ranking over the fused table
+//
+// Write endpoints (live mode, backed by internal/live; 503 otherwise):
+//
+//	POST /ingest/text           {"fragments":[{"url":...,"text":...}]} — WAL-
+//	                            durable web-text ingestion, 202 on ack
+//	POST /ingest/records        {"source":"name","records":[{...}]} — WAL-
+//	                            durable structured-record ingestion, 202 on ack
+//	POST /flush                 drain the apply queue; ?checkpoint=1 also
+//	                            snapshots state and truncates the WAL
+//	GET  /live/stats            queue depth, batch latency, WAL size, replay info
 package serve
 
 import (
@@ -15,25 +27,36 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/live"
 	"repro/internal/record"
 	"repro/internal/store"
 )
 
-// Server wraps a completed pipeline run.
+// Server wraps a completed pipeline run, optionally with a live ingester.
 type Server struct {
-	tamer *core.Tamer
-	mux   *http.ServeMux
+	tamer    *core.Tamer
+	ingester *live.Ingester // nil in read-only (batch) mode
+	mux      *http.ServeMux
 }
 
-// New builds a server over an already-Run pipeline.
-func New(t *core.Tamer) *Server {
-	s := &Server{tamer: t, mux: http.NewServeMux()}
+// New builds a read-only server over an already-Run pipeline.
+func New(t *core.Tamer) *Server { return NewLive(t, nil) }
+
+// NewLive builds a server over a pipeline with streaming writes enabled
+// through ing; a nil ingester serves the write endpoints as 503.
+func NewLive(t *core.Tamer, ing *live.Ingester) *Server {
+	s := &Server{tamer: t, ingester: ing, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /types", s.handleTypes)
 	s.mux.HandleFunc("GET /top", s.handleTop)
 	s.mux.HandleFunc("GET /show", s.handleShow)
 	s.mux.HandleFunc("GET /find", s.handleFind)
 	s.mux.HandleFunc("GET /cheapest", s.handleCheapest)
+	s.mux.HandleFunc("POST /ingest/text", s.handleIngestText)
+	s.mux.HandleFunc("POST /ingest/records", s.handleIngestRecords)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("GET /live/stats", s.handleLiveStats)
 	return s
 }
 
@@ -140,4 +163,117 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheapest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.tamer.CheapestShows(intParam(r, "k", 5)))
+}
+
+// requireLive rejects write requests when the server runs in batch mode.
+func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.ingester == nil {
+		writeError(w, http.StatusServiceUnavailable, "live ingestion disabled; restart with --live")
+		return false
+	}
+	return true
+}
+
+// maxIngestBody bounds one write request (8 MB) so a single oversized body
+// cannot bypass the event-count backpressure of the apply queue.
+const maxIngestBody = 8 << 20
+
+// ingestTextRequest is the POST /ingest/text body.
+type ingestTextRequest struct {
+	Fragments []struct {
+		URL  string `json:"url"`
+		Text string `json:"text"`
+	} `json:"fragments"`
+}
+
+func (s *Server) handleIngestText(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	var req ingestTextRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
+		return
+	}
+	if len(req.Fragments) == 0 {
+		writeError(w, http.StatusBadRequest, "no fragments in request")
+		return
+	}
+	frags := make([]live.Fragment, len(req.Fragments))
+	for i, f := range req.Fragments {
+		if f.Text == "" {
+			writeError(w, http.StatusBadRequest, "fragment with empty text")
+			return
+		}
+		frags[i] = live.Fragment{URL: f.URL, Text: f.Text}
+	}
+	if err := s.ingester.IngestText(frags); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(frags)})
+}
+
+// ingestRecordsRequest is the POST /ingest/records body: flat JSON objects,
+// the same row shape ingest.ReadJSON accepts.
+type ingestRecordsRequest struct {
+	Source  string           `json:"source"`
+	Records []map[string]any `json:"records"`
+}
+
+func (s *Server) handleIngestRecords(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	var req ingestRecordsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "no records in request")
+		return
+	}
+	recs := make([]*record.Record, len(req.Records))
+	for i, row := range req.Records {
+		rec, err := ingest.RecordFromMap(row)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		recs[i] = rec
+	}
+	if err := s.ingester.IngestRecords(req.Source, recs); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(recs)})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	op, err := "flush", error(nil)
+	if ck, _ := strconv.ParseBool(r.URL.Query().Get("checkpoint")); ck {
+		op, err = "checkpoint", s.ingester.Checkpoint() // Checkpoint flushes internally
+	} else {
+		err = s.ingester.Flush()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": op + " complete"})
+}
+
+func (s *Server) handleLiveStats(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ingester.Stats())
 }

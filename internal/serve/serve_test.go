@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/live"
 )
 
 var (
@@ -182,5 +183,129 @@ func TestBadIntParamFallsBack(t *testing.T) {
 	}
 	if len(rows) == 0 || len(rows) > 10 {
 		t.Errorf("fallback k rows = %d", len(rows))
+	}
+}
+
+func post(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			out = nil
+		}
+	}
+	return rec, out
+}
+
+// liveServer builds a fresh live-mode server; not shared, since write tests
+// mutate pipeline state.
+func liveServer(t *testing.T) (*Server, *live.Ingester) {
+	t.Helper()
+	tm := core.New(core.Config{Fragments: 150, FTSources: 3, Shards: 2, Seed: 11})
+	if err := tm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := live.Open(tm, live.Config{Dir: t.TempDir(), BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ing.Close() })
+	return NewLive(tm, ing), ing
+}
+
+func TestWriteEndpointsUnavailableInBatchMode(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/ingest/text", "/ingest/records", "/flush"} {
+		rec, _ := post(t, s, path, "{}")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("POST %s in batch mode = %d, want 503", path, rec.Code)
+		}
+	}
+	rec, _ := get(t, s, "/live/stats")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("GET /live/stats in batch mode = %d, want 503", rec.Code)
+	}
+}
+
+func TestIngestTextEndpoint(t *testing.T) {
+	s, _ := liveServer(t)
+	rec, body := post(t, s, "/ingest/text",
+		`{"fragments":[{"url":"http://x/1","text":"Matilda grossed 960,998 this week."},
+		               {"url":"http://x/2","text":"Once previews began on Tuesday."}]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if body["accepted"].(float64) != 2 {
+		t.Errorf("accepted = %v", body["accepted"])
+	}
+	if rec, _ := post(t, s, "/flush", ""); rec.Code != http.StatusOK {
+		t.Fatalf("flush status = %d", rec.Code)
+	}
+	rec, body = get(t, s, "/live/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live stats status = %d", rec.Code)
+	}
+	if body["fragments_ingested"].(float64) != 2 {
+		t.Errorf("fragments_ingested = %v", body["fragments_ingested"])
+	}
+	if body["pending_events"].(float64) != 0 {
+		t.Errorf("pending_events = %v", body["pending_events"])
+	}
+	if body["wal_size_bytes"].(float64) <= 0 {
+		t.Errorf("wal_size_bytes = %v", body["wal_size_bytes"])
+	}
+}
+
+func TestIngestRecordsEndpointReflectedInShowQuery(t *testing.T) {
+	s, _ := liveServer(t)
+	rec, _ := post(t, s, "/ingest/records",
+		`{"source":"api_feed","records":[{"SHOW_NAME":"Velvet Meridian","THEATER":"Orpheum","CHEAPEST_PRICE":66}]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if rec, _ := post(t, s, "/flush", ""); rec.Code != http.StatusOK {
+		t.Fatalf("flush status = %d", rec.Code)
+	}
+	rec, body := get(t, s, "/show?name=Velvet+Meridian")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("show status = %d", rec.Code)
+	}
+	fused, ok := body["fused"].(map[string]any)
+	if !ok || fused["THEATER"] != "Orpheum" {
+		t.Errorf("fused view = %v", body["fused"])
+	}
+}
+
+func TestIngestEndpointBadRequests(t *testing.T) {
+	s, _ := liveServer(t)
+	cases := []struct{ path, body string }{
+		{"/ingest/text", `not json`},
+		{"/ingest/text", `{"fragments":[]}`},
+		{"/ingest/text", `{"fragments":[{"url":"http://x","text":""}]}`},
+		{"/ingest/records", `{"records":[{"A":1}]}`},
+		{"/ingest/records", `{"source":"s","records":[]}`},
+		{"/ingest/records", `{"source":"s","records":[{"A":{"nested":true}}]}`},
+	}
+	for _, c := range cases {
+		if rec, _ := post(t, s, c.path, c.body); rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %s %q = %d, want 400", c.path, c.body, rec.Code)
+		}
+	}
+}
+
+func TestFlushCheckpointEndpoint(t *testing.T) {
+	s, ing := liveServer(t)
+	if rec, _ := post(t, s, "/ingest/text", `{"fragments":[{"url":"http://x/1","text":"Annie opened."}]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	rec, body := post(t, s, "/flush?checkpoint=1", "")
+	if rec.Code != http.StatusOK || body["status"] != "checkpoint complete" {
+		t.Fatalf("checkpoint flush = %d %v", rec.Code, body)
+	}
+	if size := ing.Stats().WALSizeBytes; size > 16 {
+		t.Errorf("wal not truncated after checkpoint: %d bytes", size)
 	}
 }

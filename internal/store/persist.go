@@ -16,6 +16,7 @@ import (
 const (
 	snapshotMagic = "DTSNAP1\n"
 	journalMagic  = "DTJRNL1\n"
+	eventMagic    = "DTEVTL1\n"
 )
 
 // Journal op codes.
@@ -169,12 +170,13 @@ type ReplayStats struct {
 func (c *Collection) ReplayJournal(r io.Reader) (ReplayStats, error) {
 	var stats ReplayStats
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(journalMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return stats, fmt.Errorf("store: reading journal magic: %w", err)
+	ok, truncated, err := readLogMagic(br, journalMagic)
+	if err != nil {
+		return stats, fmt.Errorf("store: journal: %w", err)
 	}
-	if string(magic) != journalMagic {
-		return stats, fmt.Errorf("store: bad journal magic %q", magic)
+	if !ok {
+		stats.Truncated = truncated
+		return stats, nil
 	}
 	for {
 		payload, err := readFrame(br)
@@ -237,6 +239,162 @@ func (c *Collection) applyReplay(id int64, doc *Doc) {
 	}
 	for _, ix := range c.indexes {
 		ix.insert(id, doc)
+	}
+}
+
+// readLogMagic consumes a log header. A zero-byte stream is an empty log
+// (ok=false, clean); a stream shorter than the header is a torn header
+// write (ok=false, truncated=true). Only a full-length header that does not
+// match is an error: that is a different file format, not a crash artifact.
+func readLogMagic(br *bufio.Reader, want string) (ok, truncated bool, err error) {
+	magic := make([]byte, len(want))
+	n, rerr := io.ReadFull(br, magic)
+	switch {
+	case rerr == io.EOF && n == 0:
+		return false, false, nil
+	case rerr == io.EOF || rerr == io.ErrUnexpectedEOF:
+		return false, true, nil
+	case rerr != nil:
+		return false, false, fmt.Errorf("reading magic: %w", rerr)
+	}
+	if string(magic) != want {
+		return false, false, fmt.Errorf("bad magic %q", magic)
+	}
+	return true, false, nil
+}
+
+// EventLog is an append-only log of application-defined events, sharing the
+// journal's CRC frame format so torn tails are detected the same way. Each
+// event carries a monotonically increasing sequence number, letting a
+// recovery replay skip events already covered by a checkpoint. The live
+// ingestion WAL is built on this.
+type EventLog struct {
+	w       *bufio.Writer
+	closer  io.Closer
+	nextSeq uint64
+}
+
+// NewEventLog starts a fresh event log on w, writing the header immediately.
+// Sequence numbers start at 1.
+func NewEventLog(w io.Writer) (*EventLog, error) { return NewEventLogAt(w, 1) }
+
+// NewEventLogAt starts a fresh event log whose sequence numbers continue
+// from nextSeq — used when rotating a log after a checkpoint so sequence
+// numbers stay monotonic across the rotation.
+func NewEventLogAt(w io.Writer, nextSeq uint64) (*EventLog, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(eventMagic); err != nil {
+		return nil, err
+	}
+	if nextSeq < 1 {
+		nextSeq = 1
+	}
+	return openEventLog(w, bw, nextSeq), nil
+}
+
+// ResumeEventLog continues an existing log on w (positioned at its end, e.g.
+// a file opened O_APPEND) without rewriting the header. nextSeq must be one
+// past the last sequence number already in the log.
+func ResumeEventLog(w io.Writer, nextSeq uint64) *EventLog {
+	if nextSeq < 1 {
+		nextSeq = 1
+	}
+	return openEventLog(w, bufio.NewWriter(w), nextSeq)
+}
+
+func openEventLog(w io.Writer, bw *bufio.Writer, nextSeq uint64) *EventLog {
+	l := &EventLog{w: bw, nextSeq: nextSeq}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *EventLog) NextSeq() uint64 { return l.nextSeq }
+
+// Append writes one event frame (seq, kind, payload) and returns its
+// sequence number. The event is durable only after Flush.
+func (l *EventLog) Append(kind byte, payload []byte) (uint64, error) {
+	seq := l.nextSeq
+	var seqb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(seqb[:], seq)
+	frame := make([]byte, 0, n+1+len(payload))
+	frame = append(frame, seqb[:n]...)
+	frame = append(frame, kind)
+	frame = append(frame, payload...)
+	if err := writeFrame(l.w, frame); err != nil {
+		return 0, err
+	}
+	l.nextSeq++
+	return seq, nil
+}
+
+// Flush forces buffered frames to the underlying writer.
+func (l *EventLog) Flush() error { return l.w.Flush() }
+
+// Close flushes and closes the underlying writer when it is closable.
+func (l *EventLog) Close() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// EventReplayStats summarizes an event-log replay.
+type EventReplayStats struct {
+	// Applied counts events delivered to fn; Skipped counts events at or
+	// below afterSeq (already covered by a checkpoint).
+	Applied, Skipped int
+	// LastSeq is the highest sequence number seen, applied or not.
+	LastSeq uint64
+	// Truncated is true when the log ended mid-frame (torn write); events
+	// before the tear were still delivered.
+	Truncated bool
+}
+
+// ReplayEventLog streams events from r, invoking fn for every event with
+// seq > afterSeq. A corrupt or torn tail stops replay cleanly (Truncated)
+// rather than failing recovery; an error from fn aborts the replay.
+func ReplayEventLog(r io.Reader, afterSeq uint64, fn func(seq uint64, kind byte, payload []byte) error) (EventReplayStats, error) {
+	var stats EventReplayStats
+	br := bufio.NewReader(r)
+	ok, truncated, err := readLogMagic(br, eventMagic)
+	if err != nil {
+		return stats, fmt.Errorf("store: event log: %w", err)
+	}
+	if !ok {
+		stats.Truncated = truncated
+		return stats, nil
+	}
+	for {
+		frame, err := readFrame(br)
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			stats.Truncated = true
+			return stats, nil
+		}
+		seq, n := binary.Uvarint(frame)
+		if n <= 0 || n >= len(frame) {
+			stats.Truncated = true
+			return stats, nil
+		}
+		if seq > stats.LastSeq {
+			stats.LastSeq = seq
+		}
+		if seq <= afterSeq {
+			stats.Skipped++
+			continue
+		}
+		if err := fn(seq, frame[n], frame[n+1:]); err != nil {
+			return stats, err
+		}
+		stats.Applied++
 	}
 }
 
