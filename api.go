@@ -1,19 +1,27 @@
 package datatamer
 
 import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/dterr"
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/fuse"
+	"repro/internal/live"
+	"repro/internal/match"
 	"repro/internal/ml"
 	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/serve"
 	"repro/internal/store"
 )
 
 // Config sizes a pipeline run; see core.Config for field documentation.
+//
+// Deprecated: configure through Open's functional options instead.
 type Config = core.Config
-
-// Tamer is the end-to-end pipeline; see core.Tamer.
-type Tamer = core.Tamer
 
 // Stats is the store statistics of Tables I-II.
 type Stats = store.Stats
@@ -21,11 +29,32 @@ type Stats = store.Stats
 // Record is the flat data model shared across the pipeline.
 type Record = record.Record
 
+// Doc is one semi-structured document of the entity store.
+type Doc = store.Doc
+
 // Discussed is one row of the Table IV ranking.
 type Discussed = fuse.Discussed
 
+// PricedShow is one row of the best-price ranking.
+type PricedShow = fuse.PricedShow
+
+// Coverage is one per-attribute fill-rate row of the fused table.
+type Coverage = fuse.Coverage
+
 // TypeCount is one row of the Table III aggregation.
 type TypeCount = core.TypeCount
+
+// StageReport times one batch pipeline stage.
+type StageReport = core.StageReport
+
+// MatchReport is one schema-matching report (the Figs. 2-3 artifacts).
+type MatchReport = match.Report
+
+// SchemaAttribute is one attribute of the integrated global schema.
+type SchemaAttribute = schema.Attribute
+
+// Explain describes the access path chosen for a filter query.
+type Explain = store.Explain
 
 // CVResult is a k-fold cross-validation summary (the Section IV metric).
 type CVResult = ml.CVResult
@@ -33,8 +62,11 @@ type CVResult = ml.CVResult
 // EntityType names one of the paper's 15 entity types.
 type EntityType = extract.Type
 
-// New builds a pipeline with the given configuration.
-func New(cfg Config) *Tamer { return core.New(cfg) }
+// Fragment is one web-text fragment with its crawl URL.
+type Fragment = live.Fragment
+
+// LiveStats is a point-in-time snapshot of the live ingester.
+type LiveStats = live.Stats
 
 // FormatKV renders a record in the paper's Table V/VI style.
 func FormatKV(r *Record, preferred []string) string { return fuse.FormatKV(r, preferred) }
@@ -48,3 +80,296 @@ var TableIVShows = extract.TableIVShows
 // ClassifierTypes lists the entity types the Section IV classifier is
 // evaluated on.
 var ClassifierTypes = []EntityType{extract.Person, extract.Company, extract.Movie, extract.Facility}
+
+// options collects the functional-option state for Open.
+type options struct {
+	cfg     core.Config
+	liveDir string
+	liveCfg live.Config
+	skipRun bool
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithFragments sets the number of web-text fragments the batch run
+// generates and ingests (default 2000).
+func WithFragments(n int) Option { return func(o *options) { o.cfg.Fragments = n } }
+
+// WithSources sets the number of structured FTABLES sources (default 20,
+// the paper's count).
+func WithSources(n int) Option { return func(o *options) { o.cfg.FTSources = n } }
+
+// WithShards sets the shard count of the two text namespaces (default 4).
+func WithShards(n int) Option { return func(o *options) { o.cfg.Shards = n } }
+
+// WithExtentSize sets the store extent size in bytes (default 2 MB,
+// 1/1000 of the paper's 2 GB extents).
+func WithExtentSize(bytes int64) Option { return func(o *options) { o.cfg.ExtentSize = bytes } }
+
+// WithSeed drives all generators and simulated experts (default 1).
+func WithSeed(seed int64) Option { return func(o *options) { o.cfg.Seed = seed } }
+
+// WithAcceptThreshold overrides the schema-matching accept threshold.
+func WithAcceptThreshold(t float64) Option { return func(o *options) { o.cfg.AcceptThreshold = t } }
+
+// WithEuroRate sets the EUR->USD transformation rate (default 1.30).
+func WithEuroRate(rate float64) Option { return func(o *options) { o.cfg.EuroRate = rate } }
+
+// WithLive enables streaming writes after the batch run, with the WAL and
+// checkpoints stored under dir. When dir already holds a checkpoint, Open
+// recovers from it instead of re-ingesting the batch web text.
+func WithLive(dir string) Option { return func(o *options) { o.liveDir = dir } }
+
+// WithLiveBatch tunes the live apply batching: at most size events per
+// batch, with a partial batch applied every interval.
+func WithLiveBatch(size int, interval time.Duration) Option {
+	return func(o *options) {
+		o.liveCfg.BatchSize = size
+		o.liveCfg.FlushInterval = interval
+	}
+}
+
+// WithLiveQueue bounds the acknowledged-but-unapplied backlog: depth
+// events and maxBytes payload bytes; writers block beyond either.
+func WithLiveQueue(depth int, maxBytes int64) Option {
+	return func(o *options) {
+		o.liveCfg.QueueDepth = depth
+		o.liveCfg.MaxQueueBytes = maxBytes
+	}
+}
+
+// WithLiveWorkers sets the parse worker count per live batch (default one
+// per CPU).
+func WithLiveWorkers(n int) Option { return func(o *options) { o.liveCfg.Workers = n } }
+
+// WithLiveFsync fsyncs the WAL on every append (power-failure durability;
+// default off: flushed to the OS, surviving process kill).
+func WithLiveFsync() Option { return func(o *options) { o.liveCfg.Fsync = true } }
+
+// withoutRun skips the batch run inside Open; the deprecated New shim uses
+// it so legacy callers keep the explicit Run step.
+func withoutRun() Option { return func(o *options) { o.skipRun = true } }
+
+// Tamer is the context-aware public handle over the fusion pipeline. All
+// query and ingestion methods accept a context and honor its cancellation;
+// errors carry the dterr taxonomy (errors.Is against dterr.ErrNotFound,
+// dterr.ErrBusy, ...).
+type Tamer struct {
+	core *core.Tamer
+	ing  *live.Ingester
+}
+
+// Open builds the pipeline, executes the batch run under ctx, and — when
+// WithLive is given — starts the streaming ingester (recovering WAL state
+// left by a previous process first). Cancelling ctx during Open aborts the
+// batch stages; cancelling it afterwards stops the live apply workers.
+func Open(ctx context.Context, opts ...Option) (*Tamer, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	t := core.New(o.cfg)
+	switch {
+	case o.skipRun:
+		// Legacy New path: the caller drives Run itself.
+	case o.liveDir != "" && live.HasCheckpoint(o.liveDir):
+		// A checkpoint will replace the stores and fused view; only the
+		// schema/registry side of the batch run is still needed.
+		if err := t.ImportFTables(ctx); err != nil {
+			return nil, err
+		}
+	default:
+		if err := t.Run(ctx); err != nil {
+			return nil, err
+		}
+	}
+	tm := &Tamer{core: t}
+	if o.liveDir != "" && !o.skipRun {
+		cfg := o.liveCfg
+		cfg.Dir = o.liveDir
+		ing, err := live.Open(ctx, t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tm.ing = ing
+	}
+	return tm, nil
+}
+
+// New builds a pipeline with the given configuration without running it.
+//
+// Deprecated: use Open with functional options; it runs the batch
+// pipeline under a context and can enable live ingestion.
+func New(cfg Config) *Tamer {
+	tm, err := Open(context.Background(), func(o *options) { o.cfg = cfg }, withoutRun())
+	if err != nil {
+		// The skipRun path performs no I/O today; if Open ever grows option
+		// validation, failing loudly beats returning a half-built pipeline.
+		panic("datatamer: New: " + err.Error())
+	}
+	return tm
+}
+
+// Run executes the batch pipeline. Open already does this; Run exists for
+// pipelines built with the deprecated New.
+func (t *Tamer) Run(ctx context.Context) error { return t.core.Run(ctx) }
+
+// IngestWebText runs only the web-text ingestion stage of the batch
+// pipeline (generate, parse, load both text namespaces).
+func (t *Tamer) IngestWebText(ctx context.Context) error { return t.core.IngestWebText(ctx) }
+
+// SaveStores checkpoints both sharded text namespaces into dir.
+func (t *Tamer) SaveStores(dir string) error { return t.core.SaveStores(dir) }
+
+// LoadStores recovers both text namespaces from a SaveStores checkpoint.
+func (t *Tamer) LoadStores(dir string) error { return t.core.LoadStores(dir) }
+
+// Close stops the live ingester (draining and checkpointing) when one is
+// open. It is safe to call on a batch-only pipeline.
+func (t *Tamer) Close() error {
+	if t.ing == nil {
+		return nil
+	}
+	return t.ing.Close()
+}
+
+// Live reports whether streaming ingestion is enabled.
+func (t *Tamer) Live() bool { return t.ing != nil }
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tamer) Config() Config { return t.core.Config() }
+
+// Handler returns the versioned HTTP API (/v1 plus deprecated legacy
+// shims) over this pipeline, with write endpoints live iff WithLive was
+// used.
+func (t *Tamer) Handler() http.Handler {
+	if t.ing != nil {
+		return serve.NewLive(t.core, t.ing)
+	}
+	return serve.New(t.core)
+}
+
+// ---- read side ---------------------------------------------------------
+
+// InstanceStats returns the WEBINSTANCE namespace stats (Table I).
+func (t *Tamer) InstanceStats() Stats { return t.core.InstanceStats() }
+
+// EntityStats returns the WEBENTITIES namespace stats (Table II).
+func (t *Tamer) EntityStats() Stats { return t.core.EntityStats() }
+
+// TypeCounts reproduces Table III: entity counts by type, descending.
+func (t *Tamer) TypeCounts(ctx context.Context) ([]TypeCount, error) {
+	return t.core.EntityTypeCounts(ctx)
+}
+
+// TopDiscussed runs the Table IV query; k <= 0 returns the full ranking.
+func (t *Tamer) TopDiscussed(ctx context.Context, k int) ([]Discussed, error) {
+	return t.core.TopDiscussed(ctx, k)
+}
+
+// QueryWebText runs the Table V query: the show as seen from web text only.
+func (t *Tamer) QueryWebText(ctx context.Context, show string) (*Record, error) {
+	return t.core.QueryWebText(ctx, show)
+}
+
+// QueryFused runs the Table VI query: the web-text view enriched with the
+// consolidated structured record for the show.
+func (t *Tamer) QueryFused(ctx context.Context, show string) (*Record, error) {
+	return t.core.QueryFused(ctx, show)
+}
+
+// CheapestShows ranks consolidated shows by price ascending; k <= 0
+// returns all.
+func (t *Tamer) CheapestShows(ctx context.Context, k int) ([]PricedShow, error) {
+	return t.core.CheapestShows(ctx, k)
+}
+
+// Find parses the filter-language query and runs it over the entity store.
+func (t *Tamer) Find(ctx context.Context, query string) ([]*Doc, error) {
+	return t.core.FindEntities(ctx, query)
+}
+
+// ExplainFind reports the access path the store would choose for query.
+func (t *Tamer) ExplainFind(query string) (Explain, error) {
+	filter, err := store.ParseFilter(query)
+	if err != nil {
+		return Explain{}, err
+	}
+	// All shards share the index layout; explain against shard 0.
+	return t.core.Entities.Shard(0).ExplainFilter(filter), nil
+}
+
+// FusionCoverage reports per-attribute fill rates of the fused table.
+func (t *Tamer) FusionCoverage(ctx context.Context) ([]Coverage, error) {
+	return t.core.FusionCoverage(ctx)
+}
+
+// ClassifierCV runs the Section IV evaluation for one entity type.
+func (t *Tamer) ClassifierCV(ctx context.Context, typ EntityType, n int) (CVResult, error) {
+	return t.core.ClassifierCV(ctx, typ, n)
+}
+
+// FusedRecords returns the consolidated structured records under global
+// attribute names.
+func (t *Tamer) FusedRecords() []*Record { return t.core.FusedRecords() }
+
+// Stages returns the per-stage reports of the batch run.
+func (t *Tamer) Stages() []StageReport { return t.core.Stages() }
+
+// MatchReports returns the schema-matching reports in integration order.
+func (t *Tamer) MatchReports() []*MatchReport { return t.core.MatchReports() }
+
+// SchemaAttributes returns the integrated global schema's attributes.
+func (t *Tamer) SchemaAttributes() []*SchemaAttribute { return t.core.Global.Attributes() }
+
+// SchemaLen returns the global schema's attribute count.
+func (t *Tamer) SchemaLen() int { return t.core.Global.Len() }
+
+// ---- write side (live mode) --------------------------------------------
+
+// errNotLive is returned by write methods on a batch-only pipeline.
+func errNotLive() error {
+	return dterr.New(dterr.CodeUnavailable, "datatamer: live ingestion not enabled; pass WithLive to Open")
+}
+
+// IngestText durably logs web-text fragments and queues them for apply.
+func (t *Tamer) IngestText(ctx context.Context, frags []Fragment) error {
+	if t.ing == nil {
+		return errNotLive()
+	}
+	return t.ing.IngestText(ctx, frags)
+}
+
+// IngestRecords durably logs structured records from one source and queues
+// them for apply.
+func (t *Tamer) IngestRecords(ctx context.Context, source string, recs []*Record) error {
+	if t.ing == nil {
+		return errNotLive()
+	}
+	return t.ing.IngestRecords(ctx, source, recs)
+}
+
+// Flush blocks until every acknowledged write has been applied.
+func (t *Tamer) Flush(ctx context.Context) error {
+	if t.ing == nil {
+		return errNotLive()
+	}
+	return t.ing.Flush(ctx)
+}
+
+// Checkpoint drains the queue, snapshots state, and truncates the WAL.
+func (t *Tamer) Checkpoint(ctx context.Context) error {
+	if t.ing == nil {
+		return errNotLive()
+	}
+	return t.ing.Checkpoint(ctx)
+}
+
+// LiveStats snapshots the live ingester's counters.
+func (t *Tamer) LiveStats() (LiveStats, error) {
+	if t.ing == nil {
+		return LiveStats{}, errNotLive()
+	}
+	return t.ing.Stats(), nil
+}

@@ -5,6 +5,7 @@
 package datatamer
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -32,8 +33,10 @@ var (
 func benchPipeline(b *testing.B) *Tamer {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchTamer = New(Config{Fragments: 2000, FTSources: 20, Seed: 1})
-		if err := benchTamer.Run(); err != nil {
+		var err error
+		benchTamer, err = Open(context.Background(),
+			WithFragments(2000), WithSources(20), WithSeed(1))
+		if err != nil {
 			b.Fatalf("pipeline: %v", err)
 		}
 	})
@@ -79,7 +82,7 @@ func BenchmarkTableIII_EntityTypeCounts(b *testing.B) {
 	b.ResetTimer()
 	var rows []TypeCount
 	for i := 0; i < b.N; i++ {
-		rows = tm.EntityTypeCounts()
+		rows, _ = tm.TypeCounts(context.Background())
 	}
 	b.ReportMetric(float64(len(rows)), "types")
 }
@@ -92,7 +95,7 @@ func BenchmarkTableIV_TopDiscussed(b *testing.B) {
 	b.ResetTimer()
 	var top []Discussed
 	for i := 0; i < b.N; i++ {
-		top = tm.TopDiscussed(10)
+		top, _ = tm.TopDiscussed(context.Background(), 10)
 	}
 	if len(top) == 0 {
 		b.Fatal("empty ranking")
@@ -106,7 +109,10 @@ func BenchmarkTableV_WebTextQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := tm.QueryWebText("Matilda")
+		r, err := tm.QueryWebText(context.Background(), "Matilda")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !r.Has("TEXT_FEED") {
 			b.Fatal("missing text feed")
 		}
@@ -120,7 +126,10 @@ func BenchmarkTableVI_FusionQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := tm.QueryFused("Matilda")
+		r, err := tm.QueryFused(context.Background(), "Matilda")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !r.Has("THEATER") || !r.Has("CHEAPEST_PRICE") {
 			b.Fatal("fusion did not enrich")
 		}
@@ -409,8 +418,8 @@ func BenchmarkAblationClustering(b *testing.B) {
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tm := New(Config{Fragments: 200, FTSources: 5, Seed: int64(i + 1)})
-		if err := tm.Run(); err != nil {
+		if _, err := Open(context.Background(),
+			WithFragments(200), WithSources(5), WithSeed(int64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -443,10 +452,10 @@ func BenchmarkIngestThroughput(b *testing.B) {
 // through a running pipeline.
 func BenchmarkLiveStreamingThroughput(b *testing.B) {
 	tm := core.New(core.Config{Fragments: 200, FTSources: 3, Shards: 4, Seed: 3})
-	if err := tm.Run(); err != nil {
+	if err := tm.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}
-	ing, err := live.Open(tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
+	ing, err := live.Open(context.Background(), tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -455,11 +464,11 @@ func BenchmarkLiveStreamingThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := ing.IngestText([]live.Fragment{frags[i%len(frags)]}); err != nil {
+		if err := ing.IngestText(context.Background(), []live.Fragment{frags[i%len(frags)]}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if err := ing.Flush(); err != nil {
+	if err := ing.Flush(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()
@@ -473,10 +482,10 @@ func BenchmarkLiveStreamingThroughput(b *testing.B) {
 // including incremental schema integration and fused-view refresh.
 func BenchmarkLiveIngestRecords(b *testing.B) {
 	tm := core.New(core.Config{Fragments: 200, FTSources: 3, Shards: 4, Seed: 3})
-	if err := tm.Run(); err != nil {
+	if err := tm.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}
-	ing, err := live.Open(tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
+	ing, err := live.Open(context.Background(), tm, live.Config{Dir: b.TempDir(), BatchSize: 128, QueueDepth: 4096})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -487,11 +496,11 @@ func BenchmarkLiveIngestRecords(b *testing.B) {
 		rec := record.New()
 		rec.Set("SHOW_NAME", record.String(fmt.Sprintf("Bench Show %d", i)))
 		rec.Set("CHEAPEST_PRICE", record.Int(int64(30+i%70)))
-		if err := ing.IngestRecords("bench_feed", []*record.Record{rec}); err != nil {
+		if err := ing.IngestRecords(context.Background(), "bench_feed", []*record.Record{rec}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if err := ing.Flush(); err != nil {
+	if err := ing.Flush(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -1,0 +1,385 @@
+// Package client is the Go SDK for the data-tamer /v1 HTTP API. It wraps
+// the versioned envelope ({"data": ...} / {"error": {"code","message"}}),
+// round-trips typed errors — a 404 becomes an error matching
+// dterr.ErrNotFound, a 429 matches dterr.ErrBusy, and so on — honors the
+// caller's context on every call, and retries idempotent reads on
+// transient failures with exponential backoff.
+//
+//	c := client.New("http://localhost:8080")
+//	top, err := c.Top(ctx, client.Page{Limit: 10})
+//	if errors.Is(err, dterr.ErrUnavailable) { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/dterr"
+)
+
+// Client talks to one data-tamer server. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times idempotent GETs are retried after a
+// network error or 5xx (default 2; 0 disables).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base retry backoff, doubled per attempt
+// (default 100ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Page selects a window of a list endpoint. Limit <= 0 leaves the
+// server's default in effect; Offset <= 0 starts at the beginning.
+type Page struct {
+	Limit  int
+	Offset int
+}
+
+func (p Page) query() url.Values {
+	v := url.Values{}
+	if p.Limit > 0 {
+		v.Set("limit", strconv.Itoa(p.Limit))
+	}
+	if p.Offset > 0 {
+		v.Set("offset", strconv.Itoa(p.Offset))
+	}
+	return v
+}
+
+// List is one page of a /v1 list endpoint, with the window echoed.
+type List[T any] struct {
+	Items  []T `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+// TypeCount is one row of the /v1/types distribution.
+type TypeCount struct {
+	Type  string `json:"Type"`
+	Count int64  `json:"Count"`
+}
+
+// Discussed is one row of the /v1/top ranking.
+type Discussed struct {
+	Name     string `json:"Name"`
+	Mentions int64  `json:"Mentions"`
+}
+
+// PricedShow is one row of the /v1/cheapest ranking.
+type PricedShow struct {
+	Show  string  `json:"Show"`
+	Price float64 `json:"Price"`
+	Raw   string  `json:"Raw"`
+}
+
+// ShowView is the /v1/show response: the Table V web-text view and the
+// Table VI fused view.
+type ShowView struct {
+	WebText map[string]string `json:"web_text"`
+	Fused   map[string]string `json:"fused"`
+}
+
+// Entity is one /v1/find result row: scalar fields of a matching document.
+type Entity map[string]string
+
+// StoreStats mirrors the Tables I-II statistics the server reports per
+// namespace (the store.Stats shape).
+type StoreStats struct {
+	NS             string `json:"NS"`
+	Count          int64  `json:"Count"`
+	NumExtents     int    `json:"NumExtents"`
+	NIndexes       int    `json:"NIndexes"`
+	LastExtentSize int64  `json:"LastExtentSize"`
+	TotalIndexSize int64  `json:"TotalIndexSize"`
+	DataSize       int64  `json:"DataSize"`
+	AvgObjSize     int64  `json:"AvgObjSize"`
+}
+
+// Stats is the /v1/stats response.
+type Stats struct {
+	Instance StoreStats `json:"instance"`
+	Entity   StoreStats `json:"entity"`
+}
+
+// Fragment is one web-text fragment for /v1/ingest/text.
+type Fragment struct {
+	URL  string `json:"url"`
+	Text string `json:"text"`
+}
+
+// LiveStats is the /v1/live/stats response.
+type LiveStats struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Pending       int   `json:"pending_events"`
+	QueuedBytes   int64 `json:"queued_bytes"`
+
+	TextEvents   int64 `json:"text_events"`
+	RecordEvents int64 `json:"record_events"`
+	Fragments    int64 `json:"fragments_ingested"`
+	Records      int64 `json:"records_ingested"`
+
+	Batches        int64   `json:"batches"`
+	AvgBatchMs     float64 `json:"avg_batch_ms"`
+	LastBatchMs    float64 `json:"last_batch_ms"`
+	FusedRefreshes int64   `json:"fused_refreshes"`
+	ApplyErrors    int64   `json:"apply_errors"`
+
+	WALSizeBytes int64 `json:"wal_size_bytes"`
+	WALEvents    int64 `json:"wal_events"`
+
+	Closed    bool   `json:"closed"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ---- transport ---------------------------------------------------------
+
+// envelope mirrors the server's uniform response shape.
+type envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// do issues one request and decodes the envelope into out (which may be
+// nil for calls that only need success/failure). GETs are retried on
+// transport errors and 5xx responses; writes are never retried.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body any, out any) error {
+	var encoded []byte
+	if body != nil {
+		var err error
+		encoded, err = json.Marshal(body)
+		if err != nil {
+			return dterr.Wrap(dterr.CodeInvalidArgument, err)
+		}
+	}
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return dterr.FromContext(ctx.Err())
+			case <-time.After(wait):
+			}
+		}
+		retry, err := c.once(ctx, method, u, encoded, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once performs a single HTTP exchange. The bool reports whether the
+// failure is worth retrying (transport error or 5xx on an idempotent
+// call); the caller has already decided the method is retryable.
+func (c *Client) once(ctx context.Context, method, u string, body []byte, out any) (retry bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return false, dterr.Wrap(dterr.CodeInvalidArgument, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, dterr.FromContext(ctx.Err())
+		}
+		return true, dterr.Wrapf(dterr.CodeUnavailable, err, "request %s %s", method, u)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return true, dterr.Wrap(dterr.CodeUnavailable, err)
+	}
+	var env envelope
+	decodeErr := json.Unmarshal(raw, &env)
+	if resp.StatusCode >= 400 {
+		if decodeErr == nil && env.Error != nil {
+			// Typed error round trip: the envelope's code is authoritative.
+			// Deterministic server states (unavailable, closed) are not worth
+			// retrying even though they ride on a 5xx status — only an
+			// internal fault might be transient.
+			code := dterr.Code(env.Error.Code)
+			retryable := resp.StatusCode >= 500 && code == dterr.CodeInternal
+			return retryable, dterr.New(code, env.Error.Message)
+		}
+		code := dterr.FromHTTPStatus(resp.StatusCode)
+		return resp.StatusCode >= 500, dterr.Newf(code, "%s %s: HTTP %d", method, u, resp.StatusCode)
+	}
+	if out == nil {
+		return false, nil
+	}
+	if decodeErr != nil {
+		return false, dterr.Wrapf(dterr.CodeInternal, decodeErr, "decoding response of %s %s", method, u)
+	}
+	if env.Data == nil {
+		return false, dterr.Newf(dterr.CodeInternal, "%s %s: response envelope has no data", method, u)
+	}
+	if err := json.Unmarshal(env.Data, out); err != nil {
+		return false, dterr.Wrapf(dterr.CodeInternal, err, "decoding data of %s %s", method, u)
+	}
+	return false, nil
+}
+
+// getList fetches one page of a /v1 list endpoint.
+func getList[T any](ctx context.Context, c *Client, path string, q url.Values) (List[T], error) {
+	var out List[T]
+	if err := c.do(ctx, http.MethodGet, path, q, nil, &out); err != nil {
+		return List[T]{}, err
+	}
+	return out, nil
+}
+
+// ---- read calls --------------------------------------------------------
+
+// Stats fetches the Tables I-II store statistics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &out)
+	return out, err
+}
+
+// Types fetches one page of the Table III type distribution.
+func (c *Client) Types(ctx context.Context, p Page) (List[TypeCount], error) {
+	return getList[TypeCount](ctx, c, "/v1/types", p.query())
+}
+
+// Top fetches one page of the Table IV discussion ranking.
+func (c *Client) Top(ctx context.Context, p Page) (List[Discussed], error) {
+	return getList[Discussed](ctx, c, "/v1/top", p.query())
+}
+
+// Cheapest fetches one page of the best-price ranking.
+func (c *Client) Cheapest(ctx context.Context, p Page) (List[PricedShow], error) {
+	return getList[PricedShow](ctx, c, "/v1/cheapest", p.query())
+}
+
+// Find runs a filter-language query over the entity store and returns one
+// page of matches.
+func (c *Client) Find(ctx context.Context, query string, p Page) (List[Entity], error) {
+	q := p.query()
+	q.Set("q", query)
+	return getList[Entity](ctx, c, "/v1/find", q)
+}
+
+// Show fetches the Table V and Table VI views of one show. An unknown
+// show yields an error matching dterr.ErrNotFound.
+func (c *Client) Show(ctx context.Context, name string) (ShowView, error) {
+	q := url.Values{}
+	q.Set("name", name)
+	var out ShowView
+	err := c.do(ctx, http.MethodGet, "/v1/show", q, nil, &out)
+	return out, err
+}
+
+// LiveStats fetches the live ingester's counters; on a batch-mode server
+// the error matches dterr.ErrUnavailable.
+func (c *Client) LiveStats(ctx context.Context) (LiveStats, error) {
+	var out LiveStats
+	err := c.do(ctx, http.MethodGet, "/v1/live/stats", nil, nil, &out)
+	return out, err
+}
+
+// ---- write calls -------------------------------------------------------
+
+// accepted is the write-acknowledgment payload.
+type accepted struct {
+	Accepted int `json:"accepted"`
+}
+
+// IngestText streams web-text fragments; the returned count is how many
+// the server durably acknowledged.
+func (c *Client) IngestText(ctx context.Context, frags []Fragment) (int, error) {
+	if len(frags) == 0 {
+		return 0, nil
+	}
+	var out accepted
+	err := c.do(ctx, http.MethodPost, "/v1/ingest/text", nil,
+		map[string]any{"fragments": frags}, &out)
+	return out.Accepted, err
+}
+
+// IngestRecords streams flat structured records from one source.
+func (c *Client) IngestRecords(ctx context.Context, source string, records []map[string]any) (int, error) {
+	if len(records) == 0 {
+		return 0, nil
+	}
+	var out accepted
+	err := c.do(ctx, http.MethodPost, "/v1/ingest/records", nil,
+		map[string]any{"source": source, "records": records}, &out)
+	return out.Accepted, err
+}
+
+// Flush blocks until every acknowledged write has been applied.
+func (c *Client) Flush(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/flush", nil, nil, nil)
+}
+
+// Checkpoint drains the apply queue, snapshots state, and truncates the
+// WAL.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	q := url.Values{}
+	q.Set("checkpoint", "1")
+	return c.do(ctx, http.MethodPost, "/v1/flush", q, nil, nil)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c *Client) String() string { return fmt.Sprintf("datatamer client for %s", c.base) }

@@ -11,17 +11,20 @@
 //	datatamer schema               # print the integrated global schema
 //
 // Global flags (before the subcommand): -fragments, -sources, -seed.
+// Ctrl-C cancels the pipeline run mid-stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	datatamer "repro"
 	"repro/internal/fuse"
-	"repro/internal/store"
 )
 
 func main() {
@@ -39,12 +42,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	tm := datatamer.New(datatamer.Config{
-		Fragments: *fragments,
-		FTSources: *sources,
-		Seed:      *seed,
-	})
-	if err := tm.Run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	tm, err := datatamer.Open(ctx,
+		datatamer.WithFragments(*fragments),
+		datatamer.WithSources(*sources),
+		datatamer.WithSeed(*seed),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -56,29 +62,49 @@ func main() {
 		fmt.Println()
 		fmt.Println(tm.EntityStats().FormatShell())
 	case "types":
-		for _, row := range tm.EntityTypeCounts() {
+		rows, err := tm.TypeCounts(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
 			fmt.Printf("%-18s %8d\n", row.Type, row.Count)
 		}
 	case "top":
 		fs := flag.NewFlagSet("top", flag.ExitOnError)
 		k := fs.Int("k", 10, "ranking size")
 		parseOrDie(fs, args[1:])
-		for i, d := range tm.TopDiscussed(*k) {
+		rows, err := tm.TopDiscussed(ctx, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, d := range rows {
 			fmt.Printf("%2d. %-28s %6d mentions\n", i+1, d.Name, d.Mentions)
 		}
 	case "query":
 		fs := flag.NewFlagSet("query", flag.ExitOnError)
 		show := fs.String("show", "Matilda", "show to look up")
 		parseOrDie(fs, args[1:])
+		web, err := tm.QueryWebText(ctx, *show)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fused, err := tm.QueryFused(ctx, *show)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println("-- from web text only --")
-		fmt.Print(fuse.FormatKV(tm.QueryWebText(*show), []string{"SHOW_NAME", "TEXT_FEED"}))
+		fmt.Print(datatamer.FormatKV(web, []string{"SHOW_NAME", "TEXT_FEED"}))
 		fmt.Println("\n-- fused with structured sources --")
-		fmt.Print(fuse.FormatKV(tm.QueryFused(*show), fuse.TableVIOrder))
+		fmt.Print(datatamer.FormatKV(fused, fuse.TableVIOrder))
 	case "cheapest":
 		fs := flag.NewFlagSet("cheapest", flag.ExitOnError)
 		k := fs.Int("k", 5, "ranking size")
 		parseOrDie(fs, args[1:])
-		for i, p := range tm.CheapestShows(*k) {
+		rows, err := tm.CheapestShows(ctx, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range rows {
 			fmt.Printf("%2d. %-28s %s\n", i+1, p.Show, p.Raw)
 		}
 	case "find":
@@ -86,11 +112,10 @@ func main() {
 		q := fs.String("q", "", "filter expression, e.g. 'type = Movie AND name ~ walking'")
 		limit := fs.Int("limit", 10, "max documents to print")
 		parseOrDie(fs, args[1:])
-		filter, err := store.ParseFilter(*q)
+		docs, err := tm.Find(ctx, *q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		docs := tm.Entities.Find(filter)
 		fmt.Printf("%d matching entities\n", len(docs))
 		for i, d := range docs {
 			if i >= *limit {
@@ -103,19 +128,17 @@ func main() {
 		fs := flag.NewFlagSet("explain", flag.ExitOnError)
 		q := fs.String("q", "", "filter expression")
 		parseOrDie(fs, args[1:])
-		filter, err := store.ParseFilter(*q)
+		ex, err := tm.ExplainFind(*q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// All shards share the index layout; explain against shard 0.
-		ex := tm.Entities.Shard(0).ExplainFilter(filter)
 		fmt.Printf("access path: %s\n", ex.AccessPath)
 		if ex.IndexName != "" {
 			fmt.Printf("index:       %s (%s)\n", ex.IndexName, ex.IndexKind)
 		}
 		fmt.Printf("reason:      %s\n", ex.Reason)
 	case "schema":
-		for _, a := range tm.Global.Attributes() {
+		for _, a := range tm.SchemaAttributes() {
 			fmt.Printf("%-24s %-8s sources=%d samples=%d\n",
 				a.Name, a.Kind, len(a.Sources), len(a.Samples))
 		}
@@ -134,7 +157,7 @@ func cmdRun(tm *datatamer.Tamer) {
 	fmt.Printf("instances: %d (%d extents, %d index)\n", inst.Count, inst.NumExtents, inst.NIndexes)
 	fmt.Printf("entities:  %d (%d extents, %d indexes)\n", ent.Count, ent.NumExtents, ent.NIndexes)
 	fmt.Printf("global schema: %d attributes; consolidated records: %d\n",
-		tm.Global.Len(), len(tm.FusedRecords()))
+		tm.SchemaLen(), len(tm.FusedRecords()))
 }
 
 func parseOrDie(fs *flag.FlagSet, args []string) {
@@ -144,6 +167,6 @@ func parseOrDie(fs *flag.FlagSet, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: datatamer [flags] <run|stats|types|top|query|schema> [subcommand flags]`)
+	fmt.Fprintln(os.Stderr, `usage: datatamer [flags] <run|stats|types|top|query|cheapest|find|explain|schema> [subcommand flags]`)
 	flag.PrintDefaults()
 }

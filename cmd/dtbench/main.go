@@ -1,10 +1,17 @@
 // Command dtbench regenerates every table and figure of the paper from a
-// live pipeline run and prints them in the paper's formats.
+// live pipeline run, prints them in the paper's formats, and tracks the
+// performance trajectory across PRs in a machine-readable file.
 //
 // Usage:
 //
-//	dtbench [-exp all|table1|table2|table3|table4|table5|table6|fig1|fig2|fig3|classifier]
+//	dtbench [-exp all|table1|table2|table3|table4|table5|table6|fig1|fig2|fig3|classifier|bench]
 //	        [-fragments N] [-sources N] [-seed N]
+//	        [-bench-out BENCH_results.json] [-bench-n 50]
+//
+// The bench experiment times the hot query paths twice — in-process
+// through the public Go API, and over HTTP through the /v1 client SDK
+// against an in-process server — and writes one JSON row per op (op,
+// ns/op, items/sec) to -bench-out ("" disables).
 //
 // The default scale (2000 fragments) is 1/1000 of the paper's deployment
 // with proportionally scaled (2 MB) extents; raise -fragments to approach
@@ -12,37 +19,56 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	datatamer "repro"
+	"repro/client"
 	"repro/internal/fuse"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dtbench: ")
-	exp := flag.String("exp", "all", "experiment to run (table1..table6, fig1, fig2, fig3, classifier, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1..table6, fig1, fig2, fig3, classifier, bench, all)")
 	fragments := flag.Int("fragments", 2000, "web-text fragments to generate")
 	sources := flag.Int("sources", 20, "structured FTABLES sources")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	benchOut := flag.String("bench-out", "BENCH_results.json", "benchmark results file (\"\" disables)")
+	benchN := flag.Int("bench-n", 50, "iterations per benchmark op")
 	flag.Parse()
 
-	tm := datatamer.New(datatamer.Config{
-		Fragments: *fragments,
-		FTSources: *sources,
-		Seed:      *seed,
-	})
-	if err := tm.Run(); err != nil {
+	switch *exp {
+	case "all", "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "classifier", "bench":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	tm, err := datatamer.Open(ctx,
+		datatamer.WithFragments(*fragments),
+		datatamer.WithSources(*sources),
+		datatamer.WithSeed(*seed),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	run := func(name string, fn func(*datatamer.Tamer)) {
+	run := func(name string, fn func(context.Context, *datatamer.Tamer) error) {
 		if *exp == "all" || *exp == name {
-			fn(tm)
+			if err := fn(ctx, tm); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
 		}
 	}
 	run("table1", printTableI)
@@ -55,104 +81,271 @@ func main() {
 	run("fig2", printFig2)
 	run("fig3", printFig3)
 	run("classifier", printClassifier)
-
-	switch *exp {
-	case "all", "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "classifier":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	if (*exp == "all" || *exp == "bench") && *benchOut != "" {
+		if err := runBench(ctx, tm, *benchN, *benchOut); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
 	}
 }
 
 func header(s string) { fmt.Printf("\n=== %s ===\n", s) }
 
-func printTableI(tm *datatamer.Tamer) {
+func printTableI(_ context.Context, tm *datatamer.Tamer) error {
 	header("TABLE I: SEMI-STRUCTURED SHARDED WEB-INSTANCE COLLECTION STATISTICS")
 	fmt.Println(tm.InstanceStats().FormatShell())
+	return nil
 }
 
-func printTableII(tm *datatamer.Tamer) {
+func printTableII(_ context.Context, tm *datatamer.Tamer) error {
 	header("TABLE II: WEB-ENTITIES COLLECTION STATISTICS")
 	fmt.Println(tm.EntityStats().FormatShell())
+	return nil
 }
 
-func printTableIII(tm *datatamer.Tamer) {
+func printTableIII(ctx context.Context, tm *datatamer.Tamer) error {
 	header("TABLE III: STATISTICS BY ENTITY TYPE IN WEB-ENTITIES")
+	rows, err := tm.TypeCounts(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Println("+------------------+----------+")
 	fmt.Printf("| %-16s | %8s |\n", "type", "cnt")
 	fmt.Println("+------------------+----------+")
-	for _, row := range tm.EntityTypeCounts() {
+	for _, row := range rows {
 		fmt.Printf("| %-16s | %8d |\n", row.Type, row.Count)
 	}
 	fmt.Println("+------------------+----------+")
+	return nil
 }
 
-func printTableIV(tm *datatamer.Tamer) {
+func printTableIV(ctx context.Context, tm *datatamer.Tamer) error {
 	header("TABLE IV: TOP 10 MOST DISCUSSED AWARD-WINNING MOVIES/SHOWS FROM WEB-TEXT")
 	fmt.Println("MOVIE/SHOW")
-	for _, d := range tm.TopDiscussed(10) {
+	top, err := tm.TopDiscussed(ctx, 10)
+	if err != nil {
+		return err
+	}
+	for _, d := range top {
 		fmt.Printf("%q  (mentions: %d)\n", d.Name, d.Mentions)
 	}
+	return nil
 }
 
-func printTableV(tm *datatamer.Tamer) {
+func printTableV(ctx context.Context, tm *datatamer.Tamer) error {
 	header("TABLE V: QUERY RESULTS FOR THE \"MATILDA\" BROADWAY SHOW FROM WEB-TEXT")
-	fmt.Print(fuse.FormatKV(tm.QueryWebText("Matilda"), []string{"SHOW_NAME", "TEXT_FEED"}))
+	web, err := tm.QueryWebText(ctx, "Matilda")
+	if err != nil {
+		return err
+	}
+	fmt.Print(fuse.FormatKV(web, []string{"SHOW_NAME", "TEXT_FEED"}))
+	return nil
 }
 
-func printTableVI(tm *datatamer.Tamer) {
+func printTableVI(ctx context.Context, tm *datatamer.Tamer) error {
 	header("TABLE VI: ENRICHED QUERY RESULTS FROM WEB-TEXT AND FUSION TABLES")
-	fmt.Print(fuse.FormatKV(tm.QueryFused("Matilda"), fuse.TableVIOrder))
+	fused, err := tm.QueryFused(ctx, "Matilda")
+	if err != nil {
+		return err
+	}
+	fmt.Print(fuse.FormatKV(fused, fuse.TableVIOrder))
+	return nil
 }
 
-func printFig1(tm *datatamer.Tamer) {
+func printFig1(ctx context.Context, tm *datatamer.Tamer) error {
 	header("FIG. 1: EXTENDED DATA TAMER PIPELINE (stage report)")
 	fmt.Printf("%-20s %10s %14s\n", "STAGE", "ITEMS", "DURATION")
 	for _, s := range tm.Stages() {
 		fmt.Printf("%-20s %10d %14s\n", s.Stage, s.Items, s.Duration.Round(1000))
 	}
 	fmt.Printf("global schema: %d attributes; fused records: %d\n",
-		tm.Global.Len(), len(tm.FusedRecords()))
+		tm.SchemaLen(), len(tm.FusedRecords()))
+	cov, err := tm.FusionCoverage(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Println("\nenrichment coverage of the fused table:")
-	for _, c := range tm.FusionCoverage() {
+	for _, c := range cov {
 		fmt.Printf("  %-16s %3d/%3d (%.0f%%)\n", c.Attr, c.Filled, c.Total, c.Fraction()*100)
 	}
+	cheapest, err := tm.CheapestShows(ctx, 5)
+	if err != nil {
+		return err
+	}
 	fmt.Println("\ncheapest fused shows (the demo's best-price query):")
-	for i, p := range tm.CheapestShows(5) {
+	for i, p := range cheapest {
 		fmt.Printf("  %d. %-28s %s\n", i+1, p.Show, p.Raw)
 	}
+	return nil
 }
 
-func printFig2(tm *datatamer.Tamer) {
+func printFig2(_ context.Context, tm *datatamer.Tamer) error {
 	header("FIG. 2: SCHEMA INTEGRATION — GLOBAL SCHEMA INITIALIZATION (first source)")
 	reps := tm.MatchReports()
 	if len(reps) == 0 {
 		fmt.Println("(no match reports)")
-		return
+		return nil
 	}
 	fmt.Print(reps[0].FormatReport())
+	return nil
 }
 
-func printFig3(tm *datatamer.Tamer) {
+func printFig3(_ context.Context, tm *datatamer.Tamer) error {
 	header("FIG. 3: SCHEMA INTEGRATION — STRUCTURED DATA VS GLOBAL SCHEMA (last source)")
 	reps := tm.MatchReports()
 	if len(reps) == 0 {
 		fmt.Println("(no match reports)")
-		return
+		return nil
 	}
 	fmt.Print(reps[len(reps)-1].FormatReport())
+	return nil
 }
 
-func printClassifier(tm *datatamer.Tamer) {
+func printClassifier(ctx context.Context, tm *datatamer.Tamer) error {
 	header("SECTION IV: DEDUP/CLEANING CLASSIFIER — 10-FOLD CROSS-VALIDATION")
 	fmt.Printf("%-12s %10s %10s %10s\n", "ENTITY TYPE", "PRECISION", "RECALL", "F1")
 	for _, typ := range datatamer.ClassifierTypes {
-		res := tm.ClassifierCV(typ, 600)
+		res, err := tm.ClassifierCV(ctx, typ, 600)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n",
 			string(typ), res.MeanPrecision()*100, res.MeanRecall()*100, res.MeanF1()*100)
 	}
 	fmt.Println(strings.TrimSpace(`
 paper reports 89/90% precision/recall by 10-fold cross-validation on
 several entity types; the synthetic pair corpus is tuned to the same band.`))
+	return nil
+}
+
+// ---- machine-readable benchmarks ---------------------------------------
+
+// benchResult is one row of BENCH_results.json.
+type benchResult struct {
+	Op           string  `json:"op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	ItemsPerSec  float64 `json:"items_per_sec"`
+	Iterations   int     `json:"iterations"`
+	ItemsPerIter int     `json:"items_per_iter"`
+}
+
+// measure times n iterations of fn; items is how many result items one
+// iteration produces (for the throughput figure).
+func measure(op string, n int, fn func() (items int, err error)) (benchResult, error) {
+	items := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		var err error
+		items, err = fn()
+		if err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", op, err)
+		}
+	}
+	elapsed := time.Since(start)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(n)
+	res := benchResult{Op: op, NsPerOp: nsPerOp, Iterations: n, ItemsPerIter: items}
+	if nsPerOp > 0 {
+		res.ItemsPerSec = float64(items) / (nsPerOp / 1e9)
+	}
+	return res, nil
+}
+
+// runBench times the hot query paths in-process and over HTTP (through
+// the /v1 client SDK against an in-process server) and writes the rows to
+// outPath.
+func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) error {
+	header("BENCH: QUERY-PATH THROUGHPUT (in-process + /v1 over HTTP)")
+
+	inproc := []struct {
+		op string
+		fn func() (int, error)
+	}{
+		{"core/top_discussed", func() (int, error) {
+			rows, err := tm.TopDiscussed(ctx, 10)
+			return len(rows), err
+		}},
+		{"core/type_counts", func() (int, error) {
+			rows, err := tm.TypeCounts(ctx)
+			return len(rows), err
+		}},
+		{"core/query_fused", func() (int, error) {
+			_, err := tm.QueryFused(ctx, "Matilda")
+			return 1, err
+		}},
+		{"core/cheapest", func() (int, error) {
+			rows, err := tm.CheapestShows(ctx, 5)
+			return len(rows), err
+		}},
+		{"core/find", func() (int, error) {
+			docs, err := tm.Find(ctx, "type = Movie")
+			return len(docs), err
+		}},
+	}
+
+	var results []benchResult
+	for _, b := range inproc {
+		res, err := measure(b.op, n, b.fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	// HTTP pass: a real listener so the SDK path includes the full stack
+	// (mux, envelope encoding, client decoding).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: tm.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	c := client.New("http://" + ln.Addr().String())
+
+	httpBenches := []struct {
+		op string
+		fn func() (int, error)
+	}{
+		{"http/v1_top", func() (int, error) {
+			list, err := c.Top(ctx, client.Page{Limit: 10})
+			return len(list.Items), err
+		}},
+		{"http/v1_types", func() (int, error) {
+			list, err := c.Types(ctx, client.Page{Limit: 50})
+			return len(list.Items), err
+		}},
+		{"http/v1_show", func() (int, error) {
+			_, err := c.Show(ctx, "Matilda")
+			return 1, err
+		}},
+		{"http/v1_cheapest", func() (int, error) {
+			list, err := c.Cheapest(ctx, client.Page{Limit: 5})
+			return len(list.Items), err
+		}},
+		{"http/v1_find", func() (int, error) {
+			list, err := c.Find(ctx, "type = Movie", client.Page{Limit: 10})
+			return len(list.Items), err
+		}},
+	}
+	for _, b := range httpBenches {
+		res, err := measure(b.op, n, b.fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	fmt.Printf("%-20s %14s %14s\n", "OP", "NS/OP", "ITEMS/SEC")
+	for _, r := range results {
+		fmt.Printf("%-20s %14.0f %14.0f\n", r.Op, r.NsPerOp, r.ItemsPerSec)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d benchmark rows to %s\n", len(results), outPath)
+	return nil
 }

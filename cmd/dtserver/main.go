@@ -9,9 +9,11 @@
 //
 //	dtserver -addr :8080 -live -wal-dir ./dtlive
 //
-// Read endpoints: /stats /types /top?k= /show?name= /find?q= /cheapest?k=
-// Write endpoints (live mode): POST /ingest/text, POST /ingest/records,
-// POST /flush[?checkpoint=1], GET /live/stats
+// The HTTP surface is the versioned /v1 API (uniform envelope, pagination,
+// typed errors): GET /v1/stats /v1/types /v1/top /v1/cheapest /v1/find
+// /v1/show, POST /v1/ingest/text /v1/ingest/records /v1/flush, GET
+// /v1/live/stats. The unversioned legacy routes remain as deprecated
+// shims for one release.
 package main
 
 import (
@@ -24,9 +26,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/live"
-	"repro/internal/serve"
+	datatamer "repro"
 )
 
 func main() {
@@ -36,7 +36,7 @@ func main() {
 	fragments := flag.Int("fragments", 2000, "web-text fragments to generate")
 	sources := flag.Int("sources", 20, "structured FTABLES sources")
 	seed := flag.Int64("seed", 1, "deterministic seed")
-	liveMode := flag.Bool("live", false, "accept streaming writes (POST /ingest/*)")
+	liveMode := flag.Bool("live", false, "accept streaming writes (POST /v1/ingest/*)")
 	walDir := flag.String("wal-dir", "dtlive", "live mode: WAL and checkpoint directory")
 	batchSize := flag.Int("batch", 64, "live mode: max events per apply batch")
 	workers := flag.Int("workers", 0, "live mode: parse workers per batch (0 = NumCPU)")
@@ -45,63 +45,59 @@ func main() {
 	fsync := flag.Bool("fsync", false, "live mode: fsync the WAL on every append")
 	flag.Parse()
 
-	tm := core.New(core.Config{Fragments: *fragments, FTSources: *sources, Seed: *seed})
-	start := time.Now()
-	if *liveMode && live.HasCheckpoint(*walDir) {
-		// A checkpoint will replace the stores and fused view; only the
-		// schema/registry side of the batch run is still needed. Store
-		// counts are logged once the checkpoint is loaded below.
-		log.Printf("checkpoint found in %s; skipping batch web-text ingest", *walDir)
-		if err := tm.ImportFTables(); err != nil {
-			log.Fatal(err)
+	// The pipeline's lifecycle context stays uncancelled: cancelling it
+	// would abort the live apply workers (WAL-safe, but the next start
+	// pays a replay), while the signal path below drains and checkpoints.
+	ctx := context.Background()
+
+	opts := []datatamer.Option{
+		datatamer.WithFragments(*fragments),
+		datatamer.WithSources(*sources),
+		datatamer.WithSeed(*seed),
+	}
+	if *liveMode {
+		opts = append(opts,
+			datatamer.WithLive(*walDir),
+			datatamer.WithLiveBatch(*batchSize, *flushEvery),
+			datatamer.WithLiveQueue(*queueDepth, 0),
+			datatamer.WithLiveWorkers(*workers),
+		)
+		if *fsync {
+			opts = append(opts, datatamer.WithLiveFsync())
 		}
-		log.Printf("schema ready in %s", time.Since(start).Round(time.Millisecond))
-	} else {
-		if err := tm.Run(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
-			time.Since(start).Round(time.Millisecond),
-			tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
 	}
 
-	var ing *live.Ingester
-	if *liveMode {
-		var err error
-		ing, err = live.Open(tm, live.Config{
-			Dir:           *walDir,
-			BatchSize:     *batchSize,
-			Workers:       *workers,
-			QueueDepth:    *queueDepth,
-			FlushInterval: *flushEvery,
-			Fsync:         *fsync,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if rep := ing.Replay(); rep.Applied > 0 || rep.Skipped > 0 {
+	start := time.Now()
+	tm, err := datatamer.Open(ctx, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
+		time.Since(start).Round(time.Millisecond),
+		tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+	if tm.Live() {
+		if ls, err := tm.LiveStats(); err == nil && (ls.ReplayApplied > 0 || ls.ReplaySkipped > 0) {
 			log.Printf("recovered WAL: %d events applied, %d already checkpointed (torn tail: %v)",
-				rep.Applied, rep.Skipped, rep.Truncated)
+				ls.ReplayApplied, ls.ReplaySkipped, ls.ReplayTruncated)
 		}
-		log.Printf("live ingestion on (wal: %s): %d instances, %d entities, %d fused records",
-			*walDir, tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+		log.Printf("live ingestion on (wal: %s)", *walDir)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewLive(tm, ing),
+		Handler:           tm.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (API: /v1)", *addr)
 
+	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
-	case <-ctx.Done():
+	case <-sigCtx.Done():
 	}
 	log.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -109,8 +105,8 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if ing != nil {
-		if err := ing.Close(); err != nil {
+	if tm.Live() {
+		if err := tm.Close(); err != nil {
 			log.Printf("ingester close: %v", err)
 		} else {
 			log.Printf("WAL flushed and checkpointed")

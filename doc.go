@@ -18,21 +18,47 @@
 //   - fusion queries that enrich text results with structured fields
 //     (internal/fuse) — Tables IV-VI;
 //   - live ingestion (internal/live): streaming writes after the batch
-//     Run, acknowledged only once appended to a CRC-framed write-ahead
-//     log, applied by a batching worker pool through the incremental
-//     hooks in internal/core, and recovered after a crash by replaying
-//     the WAL over the last checkpoint. internal/serve exposes the
-//     matching POST /ingest/* endpoints and cmd/dtserver a --live mode.
+//     run, acknowledged only once appended to a CRC-framed write-ahead
+//     log, applied by a batching worker pool, and recovered after a
+//     crash by replaying the WAL over the last checkpoint;
+//   - a versioned HTTP surface (internal/serve, /v1 with a uniform
+//     response envelope and pagination) and a Go client SDK for it
+//     (repro/client).
 //
-// Quickstart:
+// # Constructing a pipeline
 //
-//	tamer := datatamer.New(datatamer.Config{Fragments: 2000, Seed: 1})
-//	if err := tamer.Run(); err != nil {
+// Open builds the pipeline with functional options, executes the batch
+// run under the caller's context, and — when WithLive is given — starts
+// the streaming ingester (recovering any WAL state a previous process
+// left behind):
+//
+//	tamer, err := datatamer.Open(ctx,
+//		datatamer.WithFragments(2000),
+//		datatamer.WithSeed(1),
+//		datatamer.WithLive("./dtlive"),
+//	)
+//	if err != nil {
 //		log.Fatal(err)
 //	}
-//	fused := tamer.QueryFused("Matilda")
+//	defer tamer.Close()
+//
+//	fused, err := tamer.QueryFused(ctx, "Matilda")
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(datatamer.FormatKV(fused, datatamer.TableVIOrder))
 //
-// Every generator is deterministic given Config.Seed, and the benchmark
+// Every entry point that performs I/O or iteration takes a
+// context.Context; cancelling it stops the batch parse workers and the
+// live apply loop. Errors carry the repro/dterr taxonomy, so callers
+// branch with errors.Is — e.g. dterr.ErrNotFound, dterr.ErrBusy (write
+// abandoned under backpressure), dterr.ErrUnavailable (live methods on a
+// batch-only pipeline).
+//
+// The pre-v1 constructor New(Config) remains as a deprecated shim for
+// one release; note that Run and the query methods are context-aware
+// now, so pre-v1 call sites need a mechanical update when upgrading.
+//
+// Every generator is deterministic given WithSeed, and the benchmark
 // suite in bench_test.go regenerates each table and figure of the paper.
 package datatamer

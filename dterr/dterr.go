@@ -1,0 +1,202 @@
+// Package dterr defines the typed error taxonomy of the public data-tamer
+// API. Every error crossing a public boundary (the datatamer facade, the
+// /v1 HTTP surface, the client SDK) carries one of the codes below, so
+// callers can branch with errors.Is against the exported sentinels instead
+// of matching message strings, and the HTTP layer can map failures to
+// status codes mechanically.
+//
+// Wrapping preserves both axes of identity: errors.Is(err, dterr.ErrBusy)
+// matches any error carrying CodeBusy, while errors.Is(err,
+// context.Canceled) still matches an underlying cancellation wrapped by
+// FromContext.
+package dterr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable, machine-readable error class. Codes are part of the
+// /v1 wire contract: they appear verbatim in the response envelope's
+// error.code field and round-trip through the client SDK.
+type Code string
+
+const (
+	// CodeInvalidArgument marks a malformed or out-of-range caller input.
+	CodeInvalidArgument Code = "invalid_argument"
+	// CodeNotFound marks a lookup whose subject does not exist.
+	CodeNotFound Code = "not_found"
+	// CodeBusy marks a write rejected or abandoned under backpressure.
+	CodeBusy Code = "busy"
+	// CodeClosed marks an operation against a closed pipeline or ingester.
+	CodeClosed Code = "closed"
+	// CodeUnavailable marks a subsystem that is not enabled in this
+	// deployment (e.g. live writes on a batch-mode server).
+	CodeUnavailable Code = "unavailable"
+	// CodeCanceled marks work abandoned because the caller's context was
+	// canceled.
+	CodeCanceled Code = "canceled"
+	// CodeDeadlineExceeded marks work abandoned because the caller's
+	// context deadline passed.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeInternal marks everything else: an unexpected server-side fault.
+	CodeInternal Code = "internal"
+)
+
+// Error is a code-classified error. The zero value is not meaningful;
+// construct with New/Newf/Wrap.
+type Error struct {
+	Code    Code
+	Message string
+	err     error // wrapped cause, may be nil
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	switch {
+	case e.Message != "" && e.err != nil:
+		return fmt.Sprintf("%s (%s): %v", e.Message, e.Code, e.err)
+	case e.Message != "":
+		return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+	case e.err != nil:
+		return fmt.Sprintf("%s: %v", e.Code, e.err)
+	default:
+		return string(e.Code)
+	}
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.err }
+
+// Is reports code equality against another *Error, which makes the
+// sentinels below work as errors.Is targets for any error of the same code.
+func (e *Error) Is(target error) bool {
+	var t *Error
+	if !errors.As(target, &t) {
+		return false
+	}
+	return e.Code == t.Code
+}
+
+// Sentinels, one per code, for errors.Is branching. Matching is by code:
+// errors.Is(err, ErrNotFound) is true for every CodeNotFound error.
+var (
+	ErrInvalidArgument  = &Error{Code: CodeInvalidArgument, Message: "invalid argument"}
+	ErrNotFound         = &Error{Code: CodeNotFound, Message: "not found"}
+	ErrBusy             = &Error{Code: CodeBusy, Message: "busy"}
+	ErrClosed           = &Error{Code: CodeClosed, Message: "closed"}
+	ErrUnavailable      = &Error{Code: CodeUnavailable, Message: "unavailable"}
+	ErrCanceled         = &Error{Code: CodeCanceled, Message: "canceled"}
+	ErrDeadlineExceeded = &Error{Code: CodeDeadlineExceeded, Message: "deadline exceeded"}
+	ErrInternal         = &Error{Code: CodeInternal, Message: "internal error"}
+)
+
+// New builds a fresh coded error.
+func New(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }
+
+// Newf builds a fresh coded error with a formatted message.
+func Newf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies err under code, preserving it for errors.Is/As. A nil
+// err returns nil. If err's chain already holds an *Error with the same
+// code it is returned unchanged.
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) && e.Code == code {
+		return err
+	}
+	return &Error{Code: code, err: err}
+}
+
+// Wrapf classifies err under code with a formatted message prefix.
+func Wrapf(code Code, err error, format string, args ...any) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), err: err}
+}
+
+// FromContext classifies a context error: context.Canceled becomes
+// CodeCanceled, context.DeadlineExceeded becomes CodeDeadlineExceeded.
+// Any other error (or nil) passes through unchanged.
+func FromContext(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return Wrap(CodeDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return Wrap(CodeCanceled, err)
+	default:
+		return err
+	}
+}
+
+// CodeOf extracts the code of err: the code of the outermost *Error in its
+// chain, CodeCanceled/CodeDeadlineExceeded for bare context errors, and
+// CodeInternal for anything else. A nil err yields the empty code.
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeDeadlineExceeded
+	}
+	if errors.Is(err, context.Canceled) {
+		return CodeCanceled
+	}
+	return CodeInternal
+}
+
+// HTTPStatus maps a code to the /v1 response status. 499 follows the
+// client-closed-request convention for canceled work.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeBusy:
+		return http.StatusTooManyRequests
+	case CodeClosed, CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeCanceled:
+		return 499
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// FromHTTPStatus maps a response status back to a code, the client SDK's
+// fallback when a failed response carries no parseable envelope.
+func FromHTTPStatus(status int) Code {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTooManyRequests:
+		return CodeBusy
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case 499:
+		return CodeCanceled
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	default:
+		return CodeInternal
+	}
+}

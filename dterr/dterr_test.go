@@ -1,0 +1,118 @@
+package dterr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSentinelMatchingByCode(t *testing.T) {
+	err := Newf(CodeNotFound, "show %q", "Matilda")
+	if !errors.Is(err, ErrNotFound) {
+		t.Error("Newf(CodeNotFound) should match ErrNotFound")
+	}
+	if errors.Is(err, ErrBusy) {
+		t.Error("CodeNotFound must not match ErrBusy")
+	}
+	// Sentinels match themselves and other errors of their code, even
+	// through fmt wrapping.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, ErrNotFound) {
+		t.Error("fmt-wrapped coded error should still match its sentinel")
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("disk full")
+	err := Wrap(CodeInternal, cause)
+	if !errors.Is(err, cause) {
+		t.Error("Wrap must preserve the cause for errors.Is")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Error("Wrap must classify under the given code")
+	}
+	if Wrap(CodeBusy, nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+	// Wrapping an already-classified error with the same code is a no-op.
+	if again := Wrap(CodeInternal, err); again != err {
+		t.Error("same-code rewrap should return the error unchanged")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx.Err())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx → %v; want both ErrCanceled and context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	<-dctx.Done()
+	derr := FromContext(dctx.Err())
+	if !errors.Is(derr, ErrDeadlineExceeded) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("deadline ctx → %v", derr)
+	}
+
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) must be nil")
+	}
+	plain := errors.New("plain")
+	if FromContext(plain) != plain {
+		t.Error("non-context error must pass through")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Code
+	}{
+		{nil, ""},
+		{ErrBusy, CodeBusy},
+		{fmt.Errorf("x: %w", New(CodeClosed, "ingester closed")), CodeClosed},
+		{context.Canceled, CodeCanceled},
+		{context.DeadlineExceeded, CodeDeadlineExceeded},
+		{errors.New("anything"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.err); got != c.want {
+			t.Errorf("CodeOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHTTPStatusRoundTrip(t *testing.T) {
+	codes := []Code{
+		CodeInvalidArgument, CodeNotFound, CodeBusy, CodeUnavailable,
+		CodeCanceled, CodeDeadlineExceeded, CodeInternal,
+	}
+	for _, code := range codes {
+		status := HTTPStatus(code)
+		if back := FromHTTPStatus(status); back != code {
+			t.Errorf("code %q → %d → %q", code, status, back)
+		}
+	}
+	// Closed shares 503 with unavailable; the round trip lands on
+	// unavailable, which is the correct client-side interpretation.
+	if HTTPStatus(CodeClosed) != http.StatusServiceUnavailable {
+		t.Errorf("closed status = %d", HTTPStatus(CodeClosed))
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if s := New(CodeBusy, "queue full").Error(); s != "queue full (busy)" {
+		t.Errorf("message form = %q", s)
+	}
+	if s := Wrap(CodeInternal, errors.New("boom")).Error(); s != "internal: boom" {
+		t.Errorf("wrap form = %q", s)
+	}
+	if s := Wrapf(CodeBusy, errors.New("boom"), "enqueue").Error(); s != "enqueue (busy): boom" {
+		t.Errorf("wrapf form = %q", s)
+	}
+}

@@ -1,0 +1,88 @@
+// Apiclient drives the versioned /v1 HTTP API through the client SDK:
+// it starts an in-process server over a small pipeline, then issues the
+// read queries a remote integration would — stats, paginated rankings,
+// fused show lookups — and shows the typed-error round trip for a show
+// that does not exist.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	datatamer "repro"
+	"repro/client"
+	"repro/dterr"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	// An in-process server stands in for a deployed dtserver.
+	tamer, err := datatamer.Open(ctx, datatamer.WithFragments(600), datatamer.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: tamer.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	// Everything below is pure SDK — no JSON shapes, no status codes.
+	c := client.New("http://" + ln.Addr().String())
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store: %d instances, %d entities (%d indexes)\n",
+		stats.Instance.Count, stats.Entity.Count, stats.Entity.NIndexes)
+
+	// Paginated ranking: first page of three, then the next page.
+	for offset := 0; offset <= 3; offset += 3 {
+		page, err := c.Top(ctx, client.Page{Limit: 3, Offset: offset})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top discussed, offset %d (of %d total):\n", page.Offset, page.Total)
+		for i, d := range page.Items {
+			fmt.Printf("  %d. %-28s %d mentions\n", page.Offset+i+1, d.Name, d.Mentions)
+		}
+	}
+
+	// The fused view of one show.
+	view, err := c.Show(ctx, "Matilda")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Matilda fused: theater=%q price=%q\n",
+		view.Fused["THEATER"], view.Fused["CHEAPEST_PRICE"])
+
+	// Typed errors survive the HTTP round trip: an unknown show is a
+	// dterr.ErrNotFound, not a string to parse.
+	_, err = c.Show(ctx, "No Such Show Anywhere")
+	switch {
+	case errors.Is(err, dterr.ErrNotFound):
+		fmt.Println("unknown show correctly reported as not_found")
+	case err != nil:
+		log.Fatalf("unexpected error class: %v", err)
+	default:
+		log.Fatal("expected a not_found error")
+	}
+
+	// Writes against a batch-only server classify as unavailable.
+	_, err = c.IngestText(ctx, []client.Fragment{{URL: "http://x", Text: "hello"}})
+	if errors.Is(err, dterr.ErrUnavailable) {
+		fmt.Println("write against batch-mode server correctly reported as unavailable")
+	} else {
+		log.Fatalf("expected unavailable, got %v", err)
+	}
+}

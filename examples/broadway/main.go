@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,29 +15,45 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	tamer := datatamer.New(datatamer.Config{Fragments: 3000, FTSources: 20, Seed: 1})
-	if err := tamer.Run(); err != nil {
+	ctx := context.Background()
+	tamer, err := datatamer.Open(ctx,
+		datatamer.WithFragments(3000),
+		datatamer.WithSources(20),
+		datatamer.WithSeed(1),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Step 1 — the user wants a popular award-winning show, so they rank
 	// shows by how heavily the web discusses them.
 	fmt.Println("top 10 most discussed award-winning movies/shows from web text:")
-	top := tamer.TopDiscussed(10)
+	top, err := tamer.TopDiscussed(ctx, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, d := range top {
 		fmt.Printf("%2d. %-28s %6d mentions\n", i+1, d.Name, d.Mentions)
 	}
 
 	// Step 2 — they pick Matilda and ask what the web text knows: plenty of
 	// box-office chatter, but no theater, schedule or price.
+	web, err := tamer.QueryWebText(ctx, "Matilda")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nMatilda from web text only:")
-	fmt.Print(datatamer.FormatKV(tamer.QueryWebText("Matilda"), []string{"SHOW_NAME", "TEXT_FEED"}))
+	fmt.Print(datatamer.FormatKV(web, []string{"SHOW_NAME", "TEXT_FEED"}))
 
 	// Step 3 — fusion. The 20 structured Broadway sources were matched into
 	// the global schema, cleaned and consolidated; the same query now
 	// carries everything needed to buy a ticket.
+	fused, err := tamer.QueryFused(ctx, "Matilda")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nMatilda after fusing web text with the structured sources:")
-	fmt.Print(datatamer.FormatKV(tamer.QueryFused("Matilda"), datatamer.TableVIOrder))
+	fmt.Print(datatamer.FormatKV(fused, datatamer.TableVIOrder))
 
 	// The pipeline ran these stages to get here (Fig. 1).
 	fmt.Println("\npipeline stages:")

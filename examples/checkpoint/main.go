@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,9 +24,11 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// Ingest, then checkpoint.
+	// Ingest, then checkpoint. New builds the pipeline without running it,
+	// so only the web-text stage executes here.
+	ctx := context.Background()
 	tamer := datatamer.New(datatamer.Config{Fragments: 500, FTSources: 5, Seed: 3})
-	if err := tamer.IngestWebText(); err != nil {
+	if err := tamer.IngestWebText(ctx); err != nil {
 		log.Fatal(err)
 	}
 	if err := tamer.SaveStores(dir); err != nil {
@@ -44,7 +47,10 @@ func main() {
 	fmt.Printf("recovered  %d instances / %d entities (indexes rebuilt: %d)\n",
 		recovered.InstanceStats().Count, after.Count, after.NIndexes)
 
-	top := recovered.TopDiscussed(3)
+	top, err := recovered.TopDiscussed(ctx, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("top discussed shows from the recovered store:")
 	for i, d := range top {
 		fmt.Printf("  %d. %s (%d mentions)\n", i+1, d.Name, d.Mentions)

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,18 +15,28 @@ func main() {
 
 	// Build and run the pipeline: generate web text, parse it into the
 	// sharded store, integrate the structured Broadway sources into a
-	// bottom-up global schema, clean, consolidate.
-	tamer := datatamer.New(datatamer.Config{Fragments: 800, Seed: 1})
-	if err := tamer.Run(); err != nil {
+	// bottom-up global schema, clean, consolidate. Open runs the batch
+	// pipeline under the context, so cancelling it stops the run.
+	ctx := context.Background()
+	tamer, err := datatamer.Open(ctx, datatamer.WithFragments(800), datatamer.WithSeed(1))
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// What does web text alone know about Matilda? (Table V)
+	web, err := tamer.QueryWebText(ctx, "Matilda")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("-- web text only --")
-	fmt.Print(datatamer.FormatKV(tamer.QueryWebText("Matilda"), []string{"SHOW_NAME", "TEXT_FEED"}))
+	fmt.Print(datatamer.FormatKV(web, []string{"SHOW_NAME", "TEXT_FEED"}))
 
 	// After fusion, the same query returns theaters, schedules and prices
 	// from the structured sources. (Table VI)
+	fused, err := tamer.QueryFused(ctx, "Matilda")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\n-- after fusion --")
-	fmt.Print(datatamer.FormatKV(tamer.QueryFused("Matilda"), datatamer.TableVIOrder))
+	fmt.Print(datatamer.FormatKV(fused, datatamer.TableVIOrder))
 }

@@ -6,41 +6,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/live"
+	datatamer "repro"
 	"repro/internal/record"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// Batch phase: the initial Run, exactly as in the quickstart.
-	tamer := core.New(core.Config{Fragments: 800, Seed: 1})
-	if err := tamer.Run(); err != nil {
-		log.Fatal(err)
-	}
-
-	// Live phase: open an ingester over the running pipeline. Recovery is
-	// automatic — if a previous run left acknowledged writes in the WAL,
-	// they are replayed before new writes are accepted.
-	ing, err := live.Open(tamer, live.Config{Dir: "examples-streaming-wal"})
+	// One Open call covers both phases: the batch run, then the live
+	// ingester over the same pipeline. Recovery is automatic — if a
+	// previous run left acknowledged writes in the WAL, they are replayed
+	// before new writes are accepted.
+	ctx := context.Background()
+	tamer, err := datatamer.Open(ctx,
+		datatamer.WithFragments(800),
+		datatamer.WithSeed(1),
+		datatamer.WithLive("examples-streaming-wal"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ing.Close()
-	if rep := ing.Replay(); rep.Applied > 0 {
-		fmt.Printf("recovered %d acknowledged writes from a previous run\n\n", rep.Applied)
+	defer tamer.Close()
+	if st, err := tamer.LiveStats(); err == nil && st.ReplayApplied > 0 {
+		fmt.Printf("recovered %d acknowledged writes from a previous run\n\n", st.ReplayApplied)
 	}
 
 	show := "Midnight Harbor"
 	fmt.Println("-- before streaming: the pipeline has never heard of the show --")
-	fmt.Print(kv(tamer.QueryFused(show)))
+	printFused(ctx, tamer, show)
 
 	// Stream in web-text fragments mentioning the show...
-	err = ing.IngestText([]live.Fragment{
+	err = tamer.IngestText(ctx, []datatamer.Fragment{
 		{URL: "http://feeds.example.com/reviews/1",
 			Text: "Midnight Harbor an award-winning import from London, grossed 412,765, or 88 percent of the maximum."},
 		{URL: "http://feeds.example.com/reviews/2",
@@ -55,33 +55,37 @@ func main() {
 	rec.Set("SHOW_NAME", record.String(show))
 	rec.Set("THEATER", record.String("Lyceum Theatre"))
 	rec.Set("CHEAPEST_PRICE", record.Int(49))
-	if err := ing.IngestRecords("ticketing_feed", []*record.Record{rec}); err != nil {
+	if err := tamer.IngestRecords(ctx, "ticketing_feed", []*datatamer.Record{rec}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Writes are applied asynchronously in batches; Flush waits until every
 	// acknowledged write is queryable.
-	if err := ing.Flush(); err != nil {
+	if err := tamer.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\n-- after streaming: text and structured fields fused, no rebuild --")
-	fmt.Print(kv(tamer.QueryFused(show)))
+	printFused(ctx, tamer, show)
 
-	st := ing.Stats()
-	fmt.Printf("\ningested %d fragments + %d records in %d batches (avg %.2f ms), wal %d bytes\n",
-		st.Fragments, st.Records, st.Batches, st.AvgBatchMs, st.WALSizeBytes)
+	if st, err := tamer.LiveStats(); err == nil {
+		fmt.Printf("\ningested %d fragments + %d records in %d batches (avg %.2f ms), wal %d bytes\n",
+			st.Fragments, st.Records, st.Batches, st.AvgBatchMs, st.WALSizeBytes)
+	}
 }
 
-func kv(r *record.Record) string {
-	if r == nil || r.Len() == 0 {
-		return "(no result)\n"
+func printFused(ctx context.Context, tamer *datatamer.Tamer, show string) {
+	r, err := tamer.QueryFused(ctx, show)
+	if err != nil {
+		log.Fatal(err)
 	}
-	out := ""
+	if r == nil || r.Len() == 0 {
+		fmt.Print("(no result)\n")
+		return
+	}
 	for _, f := range r.Fields() {
 		if !f.Value.IsNull() {
-			out += fmt.Sprintf("%s: %s\n", f.Name, f.Value.Str())
+			fmt.Printf("%s: %s\n", f.Name, f.Value.Str())
 		}
 	}
-	return out
 }

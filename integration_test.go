@@ -1,11 +1,15 @@
 package datatamer
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/dterr"
 	"repro/internal/extract"
+	"repro/internal/record"
 )
 
 var (
@@ -18,8 +22,8 @@ var (
 func integPipeline(t *testing.T) *Tamer {
 	t.Helper()
 	integOnce.Do(func() {
-		integTm = New(Config{Fragments: 1500, FTSources: 20, Seed: 42})
-		integErr = integTm.Run()
+		integTm, integErr = Open(context.Background(),
+			WithFragments(1500), WithSources(20), WithSeed(42))
 	})
 	if integErr != nil {
 		t.Fatal(integErr)
@@ -48,7 +52,10 @@ func TestEndToEndTableShapes(t *testing.T) {
 
 	// Table III shape: Person and OrgEntity near the top, Movie near the
 	// bottom among frequent types, all 15 types present or nearly so.
-	counts := tm.EntityTypeCounts()
+	counts, err := tm.TypeCounts(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	rank := map[string]int{}
 	for i, c := range counts {
 		rank[c.Type] = i
@@ -58,7 +65,10 @@ func TestEndToEndTableShapes(t *testing.T) {
 	}
 
 	// Table IV: top-listed shows are exactly award winners, ranked.
-	top := tm.TopDiscussed(10)
+	top, err := tm.TopDiscussed(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) < 5 {
 		t.Fatalf("top-discussed = %d rows", len(top))
 	}
@@ -72,8 +82,14 @@ func TestEndToEndTableShapes(t *testing.T) {
 	}
 
 	// Table V -> VI: fusion adds exactly the structured fields.
-	web := tm.QueryWebText("Matilda")
-	fused := tm.QueryFused("Matilda")
+	web, err := tm.QueryWebText(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := tm.QueryFused(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
 	added := 0
 	for _, f := range fused.Fields() {
 		if !web.Has(f.Name) {
@@ -92,7 +108,10 @@ func TestEndToEndTableShapes(t *testing.T) {
 	// Section IV: classifier in the high-precision/recall band on several
 	// entity types.
 	for _, typ := range []EntityType{extract.Person, extract.Company} {
-		res := tm.ClassifierCV(typ, 400)
+		res, err := tm.ClassifierCV(context.Background(), typ, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.MeanPrecision() < 0.80 || res.MeanRecall() < 0.80 {
 			t.Errorf("%s classifier = %s", typ, res)
 		}
@@ -102,12 +121,13 @@ func TestEndToEndTableShapes(t *testing.T) {
 // TestDeterministicRuns verifies two pipelines with the same seed agree on
 // every reported number.
 func TestDeterministicRuns(t *testing.T) {
-	a := New(Config{Fragments: 200, FTSources: 5, Seed: 9})
-	b := New(Config{Fragments: 200, FTSources: 5, Seed: 9})
-	if err := a.Run(); err != nil {
+	ctx := context.Background()
+	a, err := Open(ctx, WithFragments(200), WithSources(5), WithSeed(9))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Run(); err != nil {
+	b, err := Open(ctx, WithFragments(200), WithSources(5), WithSeed(9))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if a.InstanceStats() != b.InstanceStats() {
@@ -116,7 +136,14 @@ func TestDeterministicRuns(t *testing.T) {
 	if a.EntityStats() != b.EntityStats() {
 		t.Errorf("entity stats differ")
 	}
-	ta, tb := a.TopDiscussed(10), b.TopDiscussed(10)
+	ta, err := a.TopDiscussed(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.TopDiscussed(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ta) != len(tb) {
 		t.Fatalf("rankings differ in length")
 	}
@@ -125,7 +152,15 @@ func TestDeterministicRuns(t *testing.T) {
 			t.Errorf("ranking differs at %d: %+v vs %+v", i, ta[i], tb[i])
 		}
 	}
-	if !a.QueryFused("Matilda").Equal(b.QueryFused("Matilda")) {
+	fa, err := a.QueryFused(ctx, "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.QueryFused(ctx, "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fa.Equal(fb) {
 		t.Error("fused records differ")
 	}
 }
@@ -133,12 +168,13 @@ func TestDeterministicRuns(t *testing.T) {
 // TestScaleGrowth verifies stats grow sensibly with corpus scale (the
 // "at scale" architecture claim at laptop size).
 func TestScaleGrowth(t *testing.T) {
+	ctx := context.Background()
 	small := New(Config{Fragments: 100, FTSources: 3, Seed: 2, ExtentSize: 64 << 10})
-	if err := small.IngestWebText(); err != nil {
+	if err := small.IngestWebText(ctx); err != nil {
 		t.Fatal(err)
 	}
 	large := New(Config{Fragments: 400, FTSources: 3, Seed: 2, ExtentSize: 64 << 10})
-	if err := large.IngestWebText(); err != nil {
+	if err := large.IngestWebText(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ss, ls := small.EntityStats(), large.EntityStats()
@@ -156,7 +192,11 @@ func TestScaleGrowth(t *testing.T) {
 // TestFormatKVFacade exercises the exported formatting helper.
 func TestFormatKVFacade(t *testing.T) {
 	tm := integPipeline(t)
-	out := FormatKV(tm.QueryFused("Matilda"), TableVIOrder)
+	fused, err := tm.QueryFused(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatKV(fused, TableVIOrder)
 	for _, want := range []string{"SHOW_NAME", "THEATER", "TEXT_FEED", "CHEAPEST_PRICE"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted table missing %s:\n%s", want, out)
@@ -171,5 +211,85 @@ func TestTableIVShowsExported(t *testing.T) {
 	}
 	if len(ClassifierTypes) < 3 {
 		t.Errorf("ClassifierTypes = %d", len(ClassifierTypes))
+	}
+}
+
+// TestOpenCancelledContext verifies Open aborts the batch run when its
+// context is already cancelled, with the typed classification.
+func TestOpenCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Open(ctx, WithFragments(300), WithSeed(3))
+	if err == nil {
+		t.Fatal("Open with cancelled ctx should fail")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestWriteMethodsUnavailableWithoutLive verifies the typed unavailable
+// error on a batch-only pipeline.
+func TestWriteMethodsUnavailableWithoutLive(t *testing.T) {
+	tm := integPipeline(t)
+	ctx := context.Background()
+	if tm.Live() {
+		t.Fatal("integration pipeline should be batch-only")
+	}
+	if err := tm.IngestText(ctx, []Fragment{{URL: "u", Text: "x"}}); !errors.Is(err, dterr.ErrUnavailable) {
+		t.Errorf("IngestText = %v", err)
+	}
+	if err := tm.Flush(ctx); !errors.Is(err, dterr.ErrUnavailable) {
+		t.Errorf("Flush = %v", err)
+	}
+	if _, err := tm.LiveStats(); !errors.Is(err, dterr.ErrUnavailable) {
+		t.Errorf("LiveStats = %v", err)
+	}
+}
+
+// TestOpenWithLiveRoundTrip exercises the full options surface: live
+// ingestion through the facade, flush, fused query, close.
+func TestOpenWithLiveRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	tm, err := Open(ctx,
+		WithFragments(150), WithSources(3), WithShards(2), WithSeed(8),
+		WithLive(t.TempDir()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+	if !tm.Live() {
+		t.Fatal("live mode not enabled")
+	}
+	err = tm.IngestText(ctx, []Fragment{
+		{URL: "http://x/1", Text: "Silver Comet an award-winning revival, grossed 300,000 this week."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record.New()
+	rec.Set("SHOW_NAME", record.String("Silver Comet"))
+	rec.Set("THEATER", record.String("Imperial"))
+	rec.Set("CHEAPEST_PRICE", record.Int(37))
+	if err := tm.IngestRecords(ctx, "facade_feed", []*Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fused, err := tm.QueryFused(ctx, "Silver Comet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.GetString("THEATER") == "" {
+		t.Errorf("fused record = %v", fused)
+	}
+	st, err := tm.LiveStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fragments != 1 || st.Records != 1 {
+		t.Errorf("live stats = %+v", st)
 	}
 }

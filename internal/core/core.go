@@ -6,12 +6,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/dterr"
 	"repro/internal/clean"
 	"repro/internal/datagen"
 	"repro/internal/dedup"
@@ -157,15 +159,16 @@ func (t *Tamer) stage(name string, items int, start time.Time) {
 	t.stages = append(t.stages, StageReport{Stage: name, Items: items, Duration: time.Since(start)})
 }
 
-// Run executes the full pipeline.
-func (t *Tamer) Run() error {
-	if err := t.IngestWebText(); err != nil {
+// Run executes the full pipeline. Cancelling ctx stops the run between
+// and, for the parse pool, inside stages.
+func (t *Tamer) Run(ctx context.Context) error {
+	if err := t.IngestWebText(ctx); err != nil {
 		return err
 	}
-	if err := t.ImportFTables(); err != nil {
+	if err := t.ImportFTables(ctx); err != nil {
 		return err
 	}
-	if err := t.CleanAndConsolidate(); err != nil {
+	if err := t.CleanAndConsolidate(ctx); err != nil {
 		return err
 	}
 	return nil
@@ -174,7 +177,7 @@ func (t *Tamer) Run() error {
 // IngestWebText generates the corpus, runs the domain-specific parser, and
 // loads both text namespaces with their index sets (1 index on instances,
 // 8 on entities — the nindexes of Tables I and II).
-func (t *Tamer) IngestWebText() error {
+func (t *Tamer) IngestWebText(ctx context.Context) error {
 	start := time.Now()
 	frags := datagen.GenerateWebText(datagen.WebTextConfig{
 		Fragments: t.cfg.Fragments,
@@ -182,7 +185,10 @@ func (t *Tamer) IngestWebText() error {
 		Gazetteer: t.Parser.Gazetteer(),
 	})
 
-	_, entities := t.ApplyFragments(frags, 0)
+	_, entities, err := t.ApplyFragments(ctx, frags, 0)
+	if err != nil {
+		return err
+	}
 	t.stage("ingest-webtext", len(frags), start)
 	t.stage("parse-entities", entities, start)
 	return nil
@@ -197,8 +203,9 @@ type parsed struct {
 // parseFragments runs the domain-specific parser over frags with a worker
 // pool (the parser is read-only and safe for concurrent use). workers <= 0
 // uses one worker per CPU. Results keep fragment order so the subsequent
-// serial inserts stay deterministic.
-func (t *Tamer) parseFragments(frags []datagen.Fragment, workers int) []parsed {
+// serial inserts stay deterministic. Cancelling ctx stops every worker at
+// its next fragment boundary and the call returns the context error.
+func (t *Tamer) parseFragments(ctx context.Context, frags []datagen.Fragment, workers int) ([]parsed, error) {
 	results := make([]parsed, len(frags))
 	var wg sync.WaitGroup
 	if workers <= 0 {
@@ -210,6 +217,7 @@ func (t *Tamer) parseFragments(frags []datagen.Fragment, workers int) []parsed {
 	if workers < 1 {
 		workers = 1
 	}
+	done := ctx.Done()
 	chunk := (len(frags) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -224,6 +232,11 @@ func (t *Tamer) parseFragments(frags []datagen.Fragment, workers int) []parsed {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				res := t.Parser.Parse(frags[i].Text)
 				results[i] = parsed{
 					instance: res.InstanceDoc(frags[i].URL),
@@ -233,7 +246,10 @@ func (t *Tamer) parseFragments(frags []datagen.Fragment, workers int) []parsed {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return results
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	return results, nil
 }
 
 // indexStores creates the standard index sets: 1 index on dt.instance and
@@ -254,7 +270,7 @@ func (t *Tamer) indexStores() {
 // ImportFTables generates the structured sources and integrates each into
 // the global schema bottom-up: match, route uncertain matches to the expert
 // pool, apply decisions.
-func (t *Tamer) ImportFTables() error {
+func (t *Tamer) ImportFTables(ctx context.Context) error {
 	start := time.Now()
 	sources := datagen.GenerateFTables(datagen.FTablesConfig{
 		Sources: t.cfg.FTSources,
@@ -263,6 +279,9 @@ func (t *Tamer) ImportFTables() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return dterr.FromContext(err)
+		}
 		t.Registry.Register(src)
 		ss := schema.FromSource(src)
 		rep := t.Matcher.MatchSource(ss, t.Global)
@@ -271,7 +290,7 @@ func (t *Tamer) ImportFTables() error {
 		if err != nil {
 			return fmt.Errorf("core: integrating %s: %w", src.Name, err)
 		}
-		if err := t.resolveWithExperts(src.Name, review); err != nil {
+		if err := t.resolveWithExperts(ctx, src.Name, review); err != nil {
 			return err
 		}
 	}
@@ -282,9 +301,12 @@ func (t *Tamer) ImportFTables() error {
 // resolveWithExperts routes review-band attribute matches to the expert
 // pool with escalation (low-confidence verdicts re-ask a wider panel); the
 // final decision either maps the attribute or adds it to the global schema.
-func (t *Tamer) resolveWithExperts(source string, review []match.AttrMatch) error {
+func (t *Tamer) resolveWithExperts(ctx context.Context, source string, review []match.AttrMatch) error {
 	const newAttr = "(new attribute)"
 	for _, m := range review {
+		if err := ctx.Err(); err != nil {
+			return dterr.FromContext(err)
+		}
 		task := expert.Task{
 			Kind:     expert.TaskSchemaMatch,
 			Domain:   "schema",
@@ -326,10 +348,13 @@ func simulatedTruth(m match.AttrMatch, e *match.Engine, newAttr string) string {
 // CleanAndConsolidate translates every structured record into global
 // attribute names, cleans them, and consolidates duplicates (same show from
 // different sources) into one record per entity.
-func (t *Tamer) CleanAndConsolidate() error {
+func (t *Tamer) CleanAndConsolidate(ctx context.Context) error {
 	start := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return dterr.FromContext(err)
+	}
 	var translated []*record.Record
 	for _, src := range t.Registry.Sources() {
 		for _, r := range src.Records {
@@ -410,7 +435,10 @@ type TypeCount struct {
 }
 
 // EntityTypeCounts reproduces Table III: entity counts by type, descending.
-func (t *Tamer) EntityTypeCounts() []TypeCount {
+func (t *Tamer) EntityTypeCounts(ctx context.Context) ([]TypeCount, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
 	counts := t.Entities.Distinct("type")
 	out := make([]TypeCount, 0, len(counts))
 	for typ, n := range counts {
@@ -422,7 +450,7 @@ func (t *Tamer) EntityTypeCounts() []TypeCount {
 		}
 		return out[i].Type < out[j].Type
 	})
-	return out
+	return out, nil
 }
 
 // InstanceStats returns the WEBINSTANCE namespace stats (Table I).
@@ -431,45 +459,95 @@ func (t *Tamer) InstanceStats() store.Stats { return t.Instances.Stats() }
 // EntityStats returns the WEBENTITIES namespace stats (Table II).
 func (t *Tamer) EntityStats() store.Stats { return t.Entities.Stats() }
 
-// TopDiscussed runs the Table IV query.
-func (t *Tamer) TopDiscussed(k int) []fuse.Discussed { return t.Query.TopDiscussed(k) }
+// TopDiscussed runs the Table IV query; k <= 0 returns the full ranking.
+func (t *Tamer) TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	return t.Query.TopDiscussed(k), nil
+}
 
 // QueryWebText runs the Table V query: the show as seen from web text only.
-func (t *Tamer) QueryWebText(show string) *record.Record {
-	return t.Query.WebTextRecord(show)
+func (t *Tamer) QueryWebText(ctx context.Context, show string) (*record.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	if show == "" {
+		return nil, dterr.New(dterr.CodeInvalidArgument, "empty show name")
+	}
+	return t.Query.WebTextRecord(show), nil
 }
 
 // QueryFused runs the Table VI query: the web-text view enriched with the
 // consolidated structured record for the show.
-func (t *Tamer) QueryFused(show string) *record.Record {
-	web := t.Query.WebTextRecord(show)
+func (t *Tamer) QueryFused(ctx context.Context, show string) (*record.Record, error) {
+	web, err := t.QueryWebText(ctx, show)
+	if err != nil {
+		return nil, err
+	}
 	matches := fuse.Lookup(t.fusedSnapshot(), "SHOW_NAME", show)
 	if len(matches) == 0 {
-		return web
+		return web, nil
 	}
-	return fuse.Enrich(web, matches[0])
+	return fuse.Enrich(web, matches[0]), nil
+}
+
+// ShowInFused reports whether the consolidated fused table holds a record
+// for the show — the existence check behind the API's 404, independent of
+// whether enrichment added any fields.
+func (t *Tamer) ShowInFused(ctx context.Context, show string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, dterr.FromContext(err)
+	}
+	return len(fuse.Lookup(t.fusedSnapshot(), "SHOW_NAME", show)) > 0, nil
+}
+
+// FindEntities parses the filter-language query and runs it over the
+// entity store, so callers need no access to the store internals. A
+// malformed query is an invalid-argument error.
+func (t *Tamer) FindEntities(ctx context.Context, query string) ([]*store.Doc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	if query == "" {
+		return nil, dterr.New(dterr.CodeInvalidArgument, "empty query")
+	}
+	filter, err := store.ParseFilter(query)
+	if err != nil {
+		return nil, dterr.Wrap(dterr.CodeInvalidArgument, err)
+	}
+	return t.Entities.Find(filter), nil
 }
 
 // CheapestShows ranks consolidated shows by price ascending — the "best
-// price possible" side of the demo narrative.
-func (t *Tamer) CheapestShows(k int) []fuse.PricedShow {
-	return fuse.CheapestShows(t.fusedSnapshot(), k)
+// price possible" side of the demo narrative; k <= 0 returns all.
+func (t *Tamer) CheapestShows(ctx context.Context, k int) ([]fuse.PricedShow, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	return fuse.CheapestShows(t.fusedSnapshot(), k), nil
 }
 
 // FusionCoverage reports per-attribute fill rates of the consolidated
 // records for the Table VI attributes.
-func (t *Tamer) FusionCoverage() []fuse.Coverage {
-	return fuse.AttributeCoverage(t.fusedSnapshot(), fuse.TableVIOrder[:3])
+func (t *Tamer) FusionCoverage(ctx context.Context) ([]fuse.Coverage, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	return fuse.AttributeCoverage(t.fusedSnapshot(), fuse.TableVIOrder[:3]), nil
 }
 
 // ClassifierCV runs the Section IV evaluation for one entity type: 10-fold
 // cross-validation of the dedup classifier over generated labeled pairs.
-func (t *Tamer) ClassifierCV(typ extract.Type, n int) ml.CVResult {
+func (t *Tamer) ClassifierCV(ctx context.Context, typ extract.Type, n int) (ml.CVResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ml.CVResult{}, dterr.FromContext(err)
+	}
 	pairs := datagen.GeneratePairs(datagen.PairsConfig{Type: typ, N: n, Seed: t.cfg.Seed + int64(len(typ))})
 	fz := dedup.Featurizer{Attrs: []string{"name", "city"}}
 	examples := make([]ml.Example, len(pairs))
 	for i, p := range pairs {
 		examples[i] = ml.Example{Features: fz.Features(p.A, p.B), Label: p.Match}
 	}
-	return ml.CrossValidate(ml.NaiveBayesTrainer(5), examples, 10, t.cfg.Seed)
+	return ml.CrossValidate(ml.NaiveBayesTrainer(5), examples, 10, t.cfg.Seed), nil
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/dterr"
+	"repro/internal/datagen"
 	"repro/internal/extract"
 	"repro/internal/fuse"
 )
@@ -12,7 +16,7 @@ import (
 func smallTamer(t *testing.T) *Tamer {
 	t.Helper()
 	tm := New(Config{Fragments: 300, FTSources: 8, Shards: 2, Seed: 5})
-	if err := tm.Run(); err != nil {
+	if err := tm.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return tm
@@ -65,7 +69,10 @@ func TestPipelineStats(t *testing.T) {
 
 func TestEntityTypeCountsShape(t *testing.T) {
 	tm := sharedTamer(t)
-	counts := tm.EntityTypeCounts()
+	counts, err := tm.EntityTypeCounts(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(counts) < 10 {
 		t.Fatalf("type counts = %d rows", len(counts))
 	}
@@ -87,7 +94,10 @@ func TestEntityTypeCountsShape(t *testing.T) {
 
 func TestTopDiscussedAwardOnly(t *testing.T) {
 	tm := sharedTamer(t)
-	top := tm.TopDiscussed(10)
+	top, err := tm.TopDiscussed(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) == 0 {
 		t.Fatal("no discussed shows")
 	}
@@ -108,7 +118,10 @@ func TestTopDiscussedAwardOnly(t *testing.T) {
 
 func TestTableVThenTableVI(t *testing.T) {
 	tm := sharedTamer(t)
-	web := tm.QueryWebText("Matilda")
+	web, err := tm.QueryWebText(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if web.GetString("SHOW_NAME") != "Matilda" {
 		t.Fatalf("web record = %v", web)
 	}
@@ -124,7 +137,10 @@ func TestTableVThenTableVI(t *testing.T) {
 		}
 	}
 
-	fused := tm.QueryFused("Matilda")
+	fused, err := tm.QueryFused(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, attr := range fuse.TableVIOrder {
 		if !fused.Has(attr) {
 			t.Errorf("Table VI missing %s; record=%v", attr, fused)
@@ -233,7 +249,10 @@ func TestStagesReported(t *testing.T) {
 
 func TestClassifierCVPaperBand(t *testing.T) {
 	tm := sharedTamer(t)
-	res := tm.ClassifierCV(extract.Person, 400)
+	res, err := tm.ClassifierCV(context.Background(), extract.Person, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Folds) != 10 {
 		t.Fatalf("folds = %d", len(res.Folds))
 	}
@@ -244,7 +263,10 @@ func TestClassifierCVPaperBand(t *testing.T) {
 
 func TestQueryFusedUnknownShowFallsBack(t *testing.T) {
 	tm := sharedTamer(t)
-	r := tm.QueryFused("No Such Show")
+	r, err := tm.QueryFused(context.Background(), "No Such Show")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.GetString("SHOW_NAME") != "No Such Show" {
 		t.Errorf("fallback record = %v", r)
 	}
@@ -264,5 +286,69 @@ func TestExpertPoolExercised(t *testing.T) {
 	}
 	if len(tm.Experts.Decisions()) == 0 {
 		t.Error("expert decisions missing despite questions asked")
+	}
+}
+
+func TestRunCancelledContextStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tm := New(Config{Fragments: 500, FTSources: 4, Seed: 9})
+	err := tm.Run(ctx)
+	if err == nil {
+		t.Fatal("Run with cancelled ctx should fail")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("error = %v, want canceled classification", err)
+	}
+	// Nothing was inserted: the parse pool stopped before the store loads.
+	if got := tm.InstanceStats().Count; got != 0 {
+		t.Errorf("instances after cancelled run = %d, want 0", got)
+	}
+}
+
+func TestApplyFragmentsCancelMidBatch(t *testing.T) {
+	tm := New(Config{Fragments: 10, FTSources: 2, Seed: 9})
+	frags := datagen.GenerateWebText(datagen.WebTextConfig{
+		Fragments: 300, Seed: 9, Gazetteer: tm.Parser.Gazetteer(),
+	})
+	// Cancel once the workers have started: every worker checks the
+	// context per fragment, so the pool must wind down and report the
+	// cancellation instead of inserting a full batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := tm.ApplyFragments(ctx, frags, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyFragments with cancelled ctx = %v", err)
+	}
+	if got := tm.InstanceStats().Count; got != 0 {
+		t.Errorf("cancelled apply inserted %d instances", got)
+	}
+}
+
+func TestQueryMethodsHonorCancelledContext(t *testing.T) {
+	tm := sharedTamer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tm.TopDiscussed(ctx, 5); !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("TopDiscussed = %v", err)
+	}
+	if _, err := tm.QueryFused(ctx, "Matilda"); !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("QueryFused = %v", err)
+	}
+	if _, err := tm.EntityTypeCounts(ctx); !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("EntityTypeCounts = %v", err)
+	}
+	if _, err := tm.FindEntities(ctx, "type = Movie"); !errors.Is(err, dterr.ErrCanceled) {
+		t.Errorf("FindEntities = %v", err)
+	}
+}
+
+func TestFindEntitiesInvalidQuery(t *testing.T) {
+	tm := sharedTamer(t)
+	if _, err := tm.FindEntities(context.Background(), "==="); !errors.Is(err, dterr.ErrInvalidArgument) {
+		t.Errorf("malformed query = %v, want ErrInvalidArgument", err)
+	}
+	if _, err := tm.FindEntities(context.Background(), ""); !errors.Is(err, dterr.ErrInvalidArgument) {
+		t.Errorf("empty query = %v, want ErrInvalidArgument", err)
 	}
 }

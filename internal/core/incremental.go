@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/dterr"
 	"repro/internal/datagen"
 	"repro/internal/ingest"
 	"repro/internal/record"
@@ -22,13 +24,17 @@ import (
 // ApplyFragments parses frags with a pool of workers (0 = one per CPU) and
 // inserts the results into both text namespaces. It returns the instance
 // and entity counts inserted. Safe for concurrent use with queries; calls
-// are internally serialized per store shard.
-func (t *Tamer) ApplyFragments(frags []datagen.Fragment, workers int) (instances, entities int) {
+// are internally serialized per store shard. Cancelling ctx stops the
+// parse workers at their next fragment and inserts nothing.
+func (t *Tamer) ApplyFragments(ctx context.Context, frags []datagen.Fragment, workers int) (instances, entities int, err error) {
 	if len(frags) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	t.indexStores() // idempotent; covers live use on a never-Run pipeline
-	results := t.parseFragments(frags, workers)
+	results, err := t.parseFragments(ctx, frags, workers)
+	if err != nil {
+		return 0, 0, err
+	}
 	for _, r := range results {
 		t.Instances.Insert(r.instance)
 		for _, d := range r.entities {
@@ -36,7 +42,7 @@ func (t *Tamer) ApplyFragments(frags []datagen.Fragment, workers int) (instances
 			entities++
 		}
 	}
-	return len(results), entities
+	return len(results), entities, nil
 }
 
 // ApplyRecords folds a batch of structured records from the named source
@@ -45,15 +51,18 @@ func (t *Tamer) ApplyFragments(frags []datagen.Fragment, workers int) (instances
 // expert pool resolving uncertain matches, translates and cleans the
 // records, and marks the fused view dirty. Consolidation itself is
 // deferred to RefreshFused.
-func (t *Tamer) ApplyRecords(source string, recs []*record.Record) (int, error) {
+func (t *Tamer) ApplyRecords(ctx context.Context, source string, recs []*record.Record) (int, error) {
 	if source == "" {
-		return 0, fmt.Errorf("core: apply records: empty source name")
+		return 0, dterr.New(dterr.CodeInvalidArgument, "core: apply records: empty source name")
 	}
 	if len(recs) == 0 {
 		return 0, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, dterr.FromContext(err)
+	}
 	// Match only the batch's attributes against the global schema; the
 	// source's earlier records are already integrated. Integration runs
 	// before registration so a failed batch leaves no records in the
@@ -66,7 +75,7 @@ func (t *Tamer) ApplyRecords(source string, recs []*record.Record) (int, error) 
 	if err != nil {
 		return 0, fmt.Errorf("core: integrating %s: %w", source, err)
 	}
-	if err := t.resolveWithExperts(source, review); err != nil {
+	if err := t.resolveWithExperts(ctx, source, review); err != nil {
 		return 0, err
 	}
 	if existing, ok := t.Registry.Get(source); ok {
@@ -94,11 +103,15 @@ func (t *Tamer) ApplyRecords(source string, recs []*record.Record) (int, error) 
 // RefreshFused folds pending incremental records into the fused view by
 // consolidating them against the existing fused records (not the full
 // source history). It returns the number of pending records folded in;
-// zero means the view was already current.
-func (t *Tamer) RefreshFused() int {
+// zero means the view was already current. A context cancelled before the
+// refresh starts leaves the view dirty for the next caller.
+func (t *Tamer) RefreshFused(ctx context.Context) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.refreshFusedLocked()
+	if err := ctx.Err(); err != nil {
+		return 0, dterr.FromContext(err)
+	}
+	return t.refreshFusedLocked(), nil
 }
 
 func (t *Tamer) refreshFusedLocked() int {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,12 +10,15 @@ import (
 func TestSaveLoadStores(t *testing.T) {
 	dir := t.TempDir()
 	tm := New(Config{Fragments: 150, FTSources: 3, Shards: 3, Seed: 4})
-	if err := tm.IngestWebText(); err != nil {
+	if err := tm.IngestWebText(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	wantInst := tm.InstanceStats()
 	wantEnt := tm.EntityStats()
-	wantTop := tm.TopDiscussed(5)
+	wantTop, err := tm.TopDiscussed(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if err := tm.SaveStores(dir); err != nil {
 		t.Fatal(err)
@@ -46,7 +50,10 @@ func TestSaveLoadStores(t *testing.T) {
 		t.Errorf("entity nindexes after load = %d", gotEnt.NIndexes)
 	}
 	// Queries over the recovered store agree.
-	gotTop := fresh.TopDiscussed(5)
+	gotTop, err := fresh.TopDiscussed(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(gotTop) != len(wantTop) {
 		t.Fatalf("ranking length %d vs %d", len(gotTop), len(wantTop))
 	}
@@ -67,7 +74,7 @@ func TestLoadStoresMissingDir(t *testing.T) {
 func TestSaveStoresCreatesDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "snapdir")
 	tm := New(Config{Fragments: 20, FTSources: 1, Shards: 2, Seed: 2})
-	if err := tm.IngestWebText(); err != nil {
+	if err := tm.IngestWebText(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := tm.SaveStores(dir); err != nil {

@@ -28,7 +28,7 @@
 package live
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/dterr"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/record"
@@ -46,8 +47,9 @@ import (
 // Fragment is one web-text fragment with its crawl URL.
 type Fragment = datagen.Fragment
 
-// ErrClosed is returned by writes against a closed ingester.
-var ErrClosed = errors.New("live: ingester closed")
+// ErrClosed is returned by writes against a closed ingester. It matches
+// the public taxonomy: errors.Is(err, dterr.ErrClosed) holds too.
+var ErrClosed error = dterr.New(dterr.CodeClosed, "live: ingester closed")
 
 // Config sizes the ingester.
 type Config struct {
@@ -106,6 +108,11 @@ type Ingester struct {
 	wal    *wal
 	replay store.EventReplayStats
 
+	// openCtx is the lifecycle context passed to Open. Cancelling it stops
+	// the applier loop: remaining queued events are released unapplied (they
+	// stay in the WAL for the next Open's replay) and further writes fail.
+	openCtx context.Context
+
 	// ingestMu serializes WAL append + enqueue so apply order matches log
 	// order; Checkpoint holds it to stall writers during a snapshot. epoch
 	// (the committed checkpoint generation) and replayErrors (events
@@ -125,6 +132,7 @@ type Ingester struct {
 	pending     int   // acked events not yet applied
 	queuedBytes int64 // payload bytes of those events
 	closed      bool
+	aborted     bool  // openCtx cancelled with events still queued; skip the close checkpoint
 	applyErr    error // most recent apply failure, surfaced in Stats
 
 	textEvents, recordEvents   atomic.Int64
@@ -139,10 +147,14 @@ type Ingester struct {
 // loads the last checkpoint (when present), replays the WAL tail over it,
 // re-checkpoints the recovered state, and begins a fresh WAL. The pipeline
 // t should have completed its batch Run (or LoadStores) first.
-func Open(t *core.Tamer, cfg Config) (*Ingester, error) {
+//
+// ctx bounds both the recovery work and the ingester's lifetime: cancelling
+// it after Open returns stops the apply workers — events already queued are
+// released unapplied and recovered from the WAL on the next Open.
+func Open(ctx context.Context, t *core.Tamer, cfg Config) (*Ingester, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Dir == "" {
-		return nil, fmt.Errorf("live: Config.Dir is required")
+		return nil, dterr.New(dterr.CodeInvalidArgument, "live: Config.Dir is required")
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("live: creating dir: %w", err)
@@ -150,6 +162,7 @@ func Open(t *core.Tamer, cfg Config) (*Ingester, error) {
 	ing := &Ingester{
 		cfg:     cfg,
 		tamer:   t,
+		openCtx: ctx,
 		queue:   make(chan event, cfg.QueueDepth),
 		flushCh: make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -178,7 +191,9 @@ func Open(t *core.Tamer, cfg Config) (*Ingester, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: wal replay: %w", err)
 	}
-	t.RefreshFused()
+	if _, err := t.RefreshFused(ctx); err != nil {
+		return nil, fmt.Errorf("live: refreshing fused view after replay: %w", err)
+	}
 
 	// Re-checkpoint the recovered state and start a clean WAL whose
 	// sequence numbers continue past everything ever logged. When a valid
@@ -219,7 +234,11 @@ func (ing *Ingester) applyReplayed(kind byte, payload []byte) error {
 			ing.replayErrors++
 			return nil
 		}
-		ni, ne := ing.tamer.ApplyFragments(frags, ing.cfg.Workers)
+		ni, ne, err := ing.tamer.ApplyFragments(ing.openCtx, frags, ing.cfg.Workers)
+		if err != nil {
+			// Cancellation mid-recovery aborts Open itself; surface it.
+			return err
+		}
 		ing.instances.Add(int64(ni))
 		ing.entities.Add(int64(ne))
 		ing.fragments.Add(int64(len(frags)))
@@ -229,7 +248,10 @@ func (ing *Ingester) applyReplayed(kind byte, payload []byte) error {
 			ing.replayErrors++
 			return nil
 		}
-		if _, err := ing.tamer.ApplyRecords(source, recs); err != nil {
+		if _, err := ing.tamer.ApplyRecords(ing.openCtx, source, recs); err != nil {
+			if cerr := ing.openCtx.Err(); cerr != nil {
+				return dterr.FromContext(cerr)
+			}
 			ing.replayErrors++
 			return nil
 		}
@@ -242,12 +264,14 @@ func (ing *Ingester) applyReplayed(kind byte, payload []byte) error {
 
 // IngestText durably logs a batch of web-text fragments and queues them
 // for apply. When it returns nil the write is acknowledged: it survives a
-// process kill even if it has not been applied yet.
-func (ing *Ingester) IngestText(frags []Fragment) error {
+// process kill even if it has not been applied yet. Cancelling ctx while
+// the write waits on backpressure abandons it with a busy-classified
+// error; once acknowledged the write is never abandoned.
+func (ing *Ingester) IngestText(ctx context.Context, frags []Fragment) error {
 	if len(frags) == 0 {
 		return nil
 	}
-	if err := ing.enqueue(event{kind: evText, frags: frags}, encodeText(frags)); err != nil {
+	if err := ing.enqueue(ctx, event{kind: evText, frags: frags}, encodeText(frags)); err != nil {
 		return err
 	}
 	ing.textEvents.Add(1)
@@ -258,9 +282,9 @@ func (ing *Ingester) IngestText(frags []Fragment) error {
 // and queues them for apply. Records without an ID are stamped with one
 // derived from the WAL sequence number, so identity survives crash
 // recovery and cannot collide with records ingested after a restart.
-func (ing *Ingester) IngestRecords(source string, recs []*record.Record) error {
+func (ing *Ingester) IngestRecords(ctx context.Context, source string, recs []*record.Record) error {
 	if source == "" {
-		return fmt.Errorf("live: ingest records: empty source name")
+		return dterr.New(dterr.CodeInvalidArgument, "live: ingest records: empty source name")
 	}
 	if len(recs) == 0 {
 		return nil
@@ -276,7 +300,7 @@ func (ing *Ingester) IngestRecords(source string, recs []*record.Record) error {
 			stamped = append(stamped, r)
 		}
 	}
-	if err := ing.enqueueLocked(event{kind: evRecords, source: source, recs: recs}, encodeRecords(source, recs)); err != nil {
+	if err := ing.enqueueLocked(ctx, event{kind: evRecords, source: source, recs: recs}, encodeRecords(source, recs)); err != nil {
 		// A failed append does not consume the sequence number; clear the
 		// IDs stamped from it so a retry cannot collide with a later write.
 		for _, r := range stamped {
@@ -288,15 +312,15 @@ func (ing *Ingester) IngestRecords(source string, recs []*record.Record) error {
 	return nil
 }
 
-func (ing *Ingester) enqueue(ev event, payload []byte) error {
+func (ing *Ingester) enqueue(ctx context.Context, ev event, payload []byte) error {
 	ing.ingestMu.Lock()
 	defer ing.ingestMu.Unlock()
-	return ing.enqueueLocked(ev, payload)
+	return ing.enqueueLocked(ctx, ev, payload)
 }
 
 // enqueueLocked appends to the WAL (the acknowledgment point) and hands the
 // event to the applier. Must hold ingestMu.
-func (ing *Ingester) enqueueLocked(ev event, payload []byte) error {
+func (ing *Ingester) enqueueLocked(ctx context.Context, ev event, payload []byte) error {
 	ev.size = len(payload)
 	ing.mu.Lock()
 	if ing.closed {
@@ -306,9 +330,19 @@ func (ing *Ingester) enqueueLocked(ev event, payload []byte) error {
 	// Byte-budget backpressure on top of the event-count bound. Waiting
 	// cannot stall forever: the budget only fills while events are
 	// pending, and the applier (alive until Close, which needs ingestMu —
-	// held here) drains them and broadcasts.
+	// held here) drains them and broadcasts. A caller whose context ends
+	// while waiting gives up before the write is logged, so nothing is
+	// acknowledged and the busy classification is accurate.
 	for ing.queuedBytes >= ing.cfg.MaxQueueBytes && ing.pending > 0 {
-		ing.cond.Wait()
+		if err := ctx.Err(); err != nil {
+			ing.mu.Unlock()
+			return dterr.Wrapf(dterr.CodeBusy, dterr.FromContext(err), "live: write abandoned under backpressure")
+		}
+		if ing.closed {
+			ing.mu.Unlock()
+			return ErrClosed
+		}
+		ing.waitLocked(ctx)
 	}
 	ing.pending++
 	ing.queuedBytes += int64(ev.size)
@@ -318,9 +352,46 @@ func (ing *Ingester) enqueueLocked(ev event, payload []byte) error {
 		return err
 	}
 	// A plain blocking send cannot deadlock, for the same reason waiting
-	// on the byte budget cannot.
+	// on the byte budget cannot; the write is already durable at this
+	// point, so it is handed to the applier regardless of ctx.
 	ing.queue <- ev
 	return nil
+}
+
+// markAborted records that the open context ended with work still queued:
+// writes are rejected from here on, and Flush reports failure instead of
+// a clean drain. Idempotent.
+func (ing *Ingester) markAborted() {
+	ing.mu.Lock()
+	ing.closed = true
+	ing.aborted = true
+	if ing.applyErr == nil {
+		ing.applyErr = dterr.FromContext(ing.openCtx.Err())
+	}
+	ing.mu.Unlock()
+}
+
+// waitLocked is cond.Wait with a context wake-up: a helper goroutine
+// broadcasts when ctx ends so the waiter can observe the cancellation.
+// Must hold ing.mu.
+func (ing *Ingester) waitLocked(ctx context.Context) {
+	done := ctx.Done()
+	if done == nil {
+		ing.cond.Wait()
+		return
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			ing.mu.Lock()
+			ing.cond.Broadcast()
+			ing.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	ing.cond.Wait()
+	close(stop)
 }
 
 // unaccount releases n events and b payload bytes from the pending
@@ -333,13 +404,23 @@ func (ing *Ingester) unaccount(n int, b int64) {
 	ing.mu.Unlock()
 }
 
-// applierLoop drains the queue into batches and applies them.
+// applierLoop drains the queue into batches and applies them. Cancelling
+// the open context stops the loop: the queue is drained without applying
+// (released events stay durable in the WAL for the next Open's replay) and
+// further writes observe the closed state.
 func (ing *Ingester) applierLoop() {
 	defer ing.wg.Done()
 	timer := time.NewTimer(ing.cfg.FlushInterval)
 	defer timer.Stop()
 	var batch []event
 	for {
+		// Priority check: select picks ready cases at random, so without
+		// this a concurrent flush signal could win over the cancellation
+		// and apply one more batch.
+		if ing.openCtx.Err() != nil {
+			ing.abort(ing.drain(batch))
+			return
+		}
 		select {
 		case ev := <-ing.queue:
 			batch = append(batch, ev)
@@ -351,10 +432,45 @@ func (ing *Ingester) applierLoop() {
 			timer.Reset(ing.cfg.FlushInterval)
 		case <-ing.flushCh:
 			batch = ing.applyBatch(ing.drain(batch))
+		case <-ing.openCtx.Done():
+			ing.abort(ing.drain(batch))
+			return
 		case <-ing.done:
 			ing.applyBatch(ing.drain(batch))
 			return
 		}
+	}
+}
+
+// abort releases batch and everything else queued without applying it,
+// marks the ingester closed/aborted, and wakes every waiter. The released
+// events were acknowledged, so they must survive: they are still in the
+// WAL, and because the abort path never checkpoints past them, the next
+// Open replays them. It keeps receiving until the pending accounting
+// drains, so a writer already committed to its queue send cannot block
+// forever against a departed applier.
+func (ing *Ingester) abort(batch []event) {
+	ing.markAborted()
+	ing.mu.Lock()
+	pending := ing.pending
+	ing.mu.Unlock()
+	var bytes int64
+	for _, ev := range batch {
+		bytes += int64(ev.size)
+	}
+	ing.unaccount(len(batch), bytes)
+	pending -= len(batch)
+	for pending > 0 {
+		select {
+		case ev := <-ing.queue:
+			ing.unaccount(1, int64(ev.size))
+		case <-time.After(10 * time.Millisecond):
+			// A writer that failed its WAL append unaccounts itself without
+			// ever sending; re-read instead of waiting for a send.
+		}
+		ing.mu.Lock()
+		pending = ing.pending
+		ing.mu.Unlock()
 	}
 }
 
@@ -386,17 +502,31 @@ func (ing *Ingester) applyBatch(batch []event) []event {
 		}
 	}
 	if len(frags) > 0 {
-		ni, ne := ing.tamer.ApplyFragments(frags, ing.cfg.Workers)
-		ing.instances.Add(int64(ni))
-		ing.entities.Add(int64(ne))
-		ing.fragments.Add(int64(len(frags)))
+		ni, ne, err := ing.tamer.ApplyFragments(ing.openCtx, frags, ing.cfg.Workers)
+		if err != nil {
+			// Only cancellation reaches here; the events stay in the WAL and
+			// the loop's next select observes openCtx.Done and aborts. Mark
+			// the abort before this batch is unaccounted below, so a Flush
+			// waiter woken by the unaccount cannot read pending==0 with
+			// aborted still false and report a clean flush for writes that
+			// were never applied.
+			ing.markAborted()
+		} else {
+			ing.instances.Add(int64(ni))
+			ing.entities.Add(int64(ne))
+			ing.fragments.Add(int64(len(frags)))
+		}
 	}
 	gotRecords := false
 	for _, ev := range batch {
 		if ev.kind != evRecords {
 			continue
 		}
-		if _, err := ing.tamer.ApplyRecords(ev.source, ev.recs); err != nil {
+		if _, err := ing.tamer.ApplyRecords(ing.openCtx, ev.source, ev.recs); err != nil {
+			if ing.openCtx.Err() != nil {
+				ing.markAborted()
+				continue
+			}
 			// Poison event: it would fail identically on every retry and on
 			// replay, so drop it and count it rather than wedging the queue.
 			ing.mu.Lock()
@@ -409,8 +539,9 @@ func (ing *Ingester) applyBatch(batch []event) []event {
 		ing.records.Add(int64(len(ev.recs)))
 	}
 	if gotRecords {
-		ing.tamer.RefreshFused()
-		ing.refreshes.Add(1)
+		if _, err := ing.tamer.RefreshFused(ing.openCtx); err == nil {
+			ing.refreshes.Add(1)
+		}
 	}
 	elapsed := time.Since(start).Nanoseconds()
 	ing.batches.Add(1)
@@ -426,27 +557,42 @@ func (ing *Ingester) applyBatch(batch []event) []event {
 
 // Flush blocks until every acknowledged write has been applied (or dropped
 // as poison — see Stats.ApplyErrors), so queries issued after it returns
-// observe all prior ingests.
-func (ing *Ingester) Flush() error {
+// observe all prior ingests. Cancelling ctx abandons the wait — the queued
+// writes still apply in the background.
+func (ing *Ingester) Flush(ctx context.Context) error {
 	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.aborted {
+		return dterr.Wrap(dterr.CodeClosed, dterr.FromContext(ing.openCtx.Err()))
+	}
 	for ing.pending > 0 {
+		if err := ctx.Err(); err != nil {
+			return dterr.FromContext(err)
+		}
+		if ing.aborted {
+			return dterr.Wrap(dterr.CodeClosed, dterr.FromContext(ing.openCtx.Err()))
+		}
 		select {
 		case ing.flushCh <- struct{}{}:
 		default:
 		}
-		ing.cond.Wait()
+		ing.waitLocked(ctx)
 	}
-	ing.mu.Unlock()
+	// The queue may have drained because the applier aborted (releasing
+	// events unapplied) rather than applying; that is not a clean flush.
+	if ing.aborted {
+		return dterr.Wrap(dterr.CodeClosed, dterr.FromContext(ing.openCtx.Err()))
+	}
 	return nil
 }
 
 // Checkpoint stalls writers, drains the queue, snapshots the stores and
 // fused view, and truncates the WAL. Recovery after a checkpoint replays
 // only events logged after it.
-func (ing *Ingester) Checkpoint() error {
+func (ing *Ingester) Checkpoint(ctx context.Context) error {
 	ing.ingestMu.Lock()
 	defer ing.ingestMu.Unlock()
-	if err := ing.Flush(); err != nil {
+	if err := ing.Flush(ctx); err != nil {
 		return err
 	}
 	if err := ing.checkpointState(ing.wal.lastSeq()); err != nil {
@@ -490,19 +636,42 @@ func (ing *Ingester) checkpointState(lastSeq uint64) error {
 }
 
 // Close drains and applies every acknowledged write, checkpoints, and
-// releases the WAL. Further writes return ErrClosed.
+// releases the WAL. Further writes return ErrClosed. If the open context
+// was cancelled first, Close skips the checkpoint so the WAL (still
+// holding the unapplied acknowledged writes) stays authoritative for the
+// next Open.
 func (ing *Ingester) Close() error {
 	ing.mu.Lock()
-	if ing.closed {
+	if ing.closed && !ing.aborted {
 		ing.mu.Unlock()
 		return nil
 	}
+	wasAborted := ing.aborted
 	ing.closed = true
+	ing.aborted = false // second Close becomes a no-op
 	ing.mu.Unlock()
 
 	ing.ingestMu.Lock()
 	defer ing.ingestMu.Unlock()
-	err := ing.Flush()
+	if wasAborted {
+		ing.wg.Wait()
+		return ing.wal.close()
+	}
+	err := ing.Flush(context.Background())
+	// The open context may have been cancelled while Flush waited; the
+	// applier then aborted instead of applying, and checkpointing now
+	// would fence acknowledged-but-unapplied WAL events away.
+	ing.mu.Lock()
+	abortedMeanwhile := ing.aborted
+	ing.aborted = false
+	ing.mu.Unlock()
+	if abortedMeanwhile {
+		ing.wg.Wait()
+		if cerr := ing.wal.close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
 	close(ing.done)
 	ing.wg.Wait()
 	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil {

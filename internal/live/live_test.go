@@ -1,13 +1,16 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/dterr"
 	"repro/internal/core"
 	"repro/internal/fuse"
 	"repro/internal/record"
@@ -18,7 +21,7 @@ import (
 func liveTamer(t testing.TB) *core.Tamer {
 	t.Helper()
 	tm := core.New(core.Config{Fragments: 120, FTSources: 3, Shards: 2, Seed: 7})
-	if err := tm.Run(); err != nil {
+	if err := tm.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return tm
@@ -43,21 +46,21 @@ func showRecord(show string, price int64) *record.Record {
 func TestIngestTextAndRecordsReflectedInQueries(t *testing.T) {
 	tm := liveTamer(t)
 	base := tm.InstanceStats().Count
-	ing, err := Open(tm, Config{Dir: t.TempDir(), BatchSize: 4})
+	ing, err := Open(context.Background(), tm, Config{Dir: t.TempDir(), BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ing.Close()
 
 	for i := 0; i < 10; i++ {
-		if err := ing.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+		if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := ing.IngestRecords("live_src", []*record.Record{showRecord("Zanzibar Nights", 59)}); err != nil {
+	if err := ing.IngestRecords(context.Background(), "live_src", []*record.Record{showRecord("Zanzibar Nights", 59)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.Flush(); err != nil {
+	if err := ing.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -85,7 +88,7 @@ func TestIngestTextAndRecordsReflectedInQueries(t *testing.T) {
 func TestConcurrentIngestUnderRace(t *testing.T) {
 	tm := liveTamer(t)
 	base := tm.InstanceStats().Count
-	ing, err := Open(tm, Config{Dir: t.TempDir(), BatchSize: 8, QueueDepth: 16})
+	ing, err := Open(context.Background(), tm, Config{Dir: t.TempDir(), BatchSize: 8, QueueDepth: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,16 +105,16 @@ func TestConcurrentIngestUnderRace(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				if err := ing.IngestText([]Fragment{fragmentAt(w*1000 + i)}); err != nil {
+				if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(w*1000 + i)}); err != nil {
 					errs <- err
 					return
 				}
 				// Interleave queries with writes.
-				_ = tm.QueryFused("Matilda")
+				_, _ = tm.QueryFused(context.Background(), "Matilda")
 				_ = tm.EntityStats()
 			}
 			if w%2 == 0 {
-				errs <- ing.IngestRecords(fmt.Sprintf("live_src_%d", w),
+				errs <- ing.IngestRecords(context.Background(), fmt.Sprintf("live_src_%d", w),
 					[]*record.Record{showRecord(shows[w], int64(40+w))})
 			}
 		}(w)
@@ -123,7 +126,7 @@ func TestConcurrentIngestUnderRace(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := ing.Flush(); err != nil {
+	if err := ing.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := tm.InstanceStats().Count; got != base+writers*perWriter {
@@ -137,22 +140,22 @@ func TestConcurrentIngestUnderRace(t *testing.T) {
 func TestCrashRecoveryReplaysAcknowledgedWrites(t *testing.T) {
 	dir := t.TempDir()
 	tm1 := liveTamer(t)
-	ing1, err := Open(tm1, Config{Dir: dir})
+	ing1, err := Open(context.Background(), tm1, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+		if err := ing1.IngestText(context.Background(), []Fragment{fragmentAt(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := ing1.IngestRecords("live_src", []*record.Record{showRecord("Phoenix Rising", 75)}); err != nil {
+	if err := ing1.IngestRecords(context.Background(), "live_src", []*record.Record{showRecord("Phoenix Rising", 75)}); err != nil {
 		t.Fatal(err)
 	}
 	// Crash: no Flush, no Close. Acknowledged writes are already in the WAL.
 
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,12 +178,12 @@ func TestCrashRecoveryReplaysAcknowledgedWrites(t *testing.T) {
 func TestTornWALTailRecoversCleanly(t *testing.T) {
 	dir := t.TempDir()
 	tm1 := liveTamer(t)
-	ing1, err := Open(tm1, Config{Dir: dir})
+	ing1, err := Open(context.Background(), tm1, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+		if err := ing1.IngestText(context.Background(), []Fragment{fragmentAt(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -195,7 +198,7 @@ func TestTornWALTailRecoversCleanly(t *testing.T) {
 	}
 
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,16 +215,16 @@ func TestTornWALTailRecoversCleanly(t *testing.T) {
 func TestCheckpointFencesDoubleApply(t *testing.T) {
 	dir := t.TempDir()
 	tm1 := liveTamer(t)
-	ing1, err := Open(tm1, Config{Dir: dir})
+	ing1, err := Open(context.Background(), tm1, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := ing1.IngestText([]Fragment{fragmentAt(i)}); err != nil {
+		if err := ing1.IngestText(context.Background(), []Fragment{fragmentAt(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := ing1.Flush(); err != nil {
+	if err := ing1.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	applied := tm1.InstanceStats().Count
@@ -230,7 +233,7 @@ func TestCheckpointFencesDoubleApply(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ing1.Checkpoint(); err != nil {
+	if err := ing1.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash between writing the checkpoint and rotating the
@@ -240,7 +243,7 @@ func TestCheckpointFencesDoubleApply(t *testing.T) {
 	}
 
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,17 +260,17 @@ func TestCheckpointFencesDoubleApply(t *testing.T) {
 func TestCloseCheckpointsAndRejectsWrites(t *testing.T) {
 	dir := t.TempDir()
 	tm := liveTamer(t)
-	ing, err := Open(tm, Config{Dir: dir})
+	ing, err := Open(context.Background(), tm, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+	if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := ing.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.IngestText([]Fragment{fragmentAt(1)}); !errors.Is(err, ErrClosed) {
+	if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(1)}); !errors.Is(err, ErrClosed) {
 		t.Errorf("write after close = %v, want ErrClosed", err)
 	}
 	if err := ing.Close(); err != nil {
@@ -277,7 +280,7 @@ func TestCloseCheckpointsAndRejectsWrites(t *testing.T) {
 	// Reopen: everything is in the checkpoint, nothing left to replay.
 	count := tm.InstanceStats().Count
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +340,7 @@ func TestPoisonWALEventDoesNotBrickRecovery(t *testing.T) {
 
 	tm := liveTamer(t)
 	base := tm.InstanceStats().Count
-	ing, err := Open(tm, Config{Dir: dir})
+	ing, err := Open(context.Background(), tm, Config{Dir: dir})
 	if err != nil {
 		t.Fatalf("poison event bricked recovery: %v", err)
 	}
@@ -354,14 +357,14 @@ func TestPoisonWALEventDoesNotBrickRecovery(t *testing.T) {
 func TestCheckpointCommitIsAtomic(t *testing.T) {
 	dir := t.TempDir()
 	tm := liveTamer(t)
-	ing, err := Open(tm, Config{Dir: dir})
+	ing, err := Open(context.Background(), tm, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+	if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(0)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing.Checkpoint(); err != nil {
+	if err := ing.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	count := tm.InstanceStats().Count
@@ -376,7 +379,7 @@ func TestCheckpointCommitIsAtomic(t *testing.T) {
 	}
 
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatalf("uncommitted checkpoint dir broke recovery: %v", err)
 	}
@@ -393,28 +396,28 @@ func TestCheckpointCommitIsAtomic(t *testing.T) {
 func TestLiveRecordIDsUniqueAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	tm1 := liveTamer(t)
-	ing1, err := Open(tm1, Config{Dir: dir})
+	ing1, err := Open(context.Background(), tm1, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	r1 := showRecord("Ivory Gate", 51)
-	if err := ing1.IngestRecords("feed", []*record.Record{r1}); err != nil {
+	if err := ing1.IngestRecords(context.Background(), "feed", []*record.Record{r1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := ing1.Close(); err != nil {
 		t.Fatal(err)
 	}
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ing2.Close()
 	r2 := showRecord("Jade Lantern", 62)
-	if err := ing2.IngestRecords("feed", []*record.Record{r2}); err != nil {
+	if err := ing2.IngestRecords(context.Background(), "feed", []*record.Record{r2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing2.Flush(); err != nil {
+	if err := ing2.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if r1.ID == "" || r2.ID == "" || r1.ID == r2.ID {
@@ -446,11 +449,11 @@ func TestWALCodecEmptyTrailingStrings(t *testing.T) {
 func TestCleanRestartSkipsRecheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	tm1 := liveTamer(t)
-	ing1, err := Open(tm1, Config{Dir: dir})
+	ing1, err := Open(context.Background(), tm1, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ing1.IngestText([]Fragment{fragmentAt(0)}); err != nil {
+	if err := ing1.IngestText(context.Background(), []Fragment{fragmentAt(0)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := ing1.Close(); err != nil {
@@ -463,7 +466,7 @@ func TestCleanRestartSkipsRecheckpoint(t *testing.T) {
 	// Clean restart: nothing to replay, so the existing checkpoint must be
 	// kept as-is rather than rewritten under a new epoch.
 	tm2 := liveTamer(t)
-	ing2, err := Open(tm2, Config{Dir: dir})
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,10 +478,10 @@ func TestCleanRestartSkipsRecheckpoint(t *testing.T) {
 		t.Errorf("clean restart rewrote checkpoint: %+v -> %+v", meta1, meta2)
 	}
 	// And the fence still works for writes made after the clean restart.
-	if err := ing2.IngestText([]Fragment{fragmentAt(1)}); err != nil {
+	if err := ing2.IngestText(context.Background(), []Fragment{fragmentAt(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ing2.Flush(); err != nil {
+	if err := ing2.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	count := tm2.InstanceStats().Count
@@ -486,12 +489,93 @@ func TestCleanRestartSkipsRecheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	tm3 := liveTamer(t)
-	ing3, err := Open(tm3, Config{Dir: dir})
+	ing3, err := Open(context.Background(), tm3, Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ing3.Close()
 	if got := tm3.InstanceStats().Count; got != count {
 		t.Errorf("instance count after restart chain = %d, want %d", got, count)
+	}
+}
+
+func TestOpenContextCancelStopsApplyWorkers(t *testing.T) {
+	dir := t.TempDir()
+	tm := liveTamer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	// A long flush interval keeps writes queued until we cancel, so the
+	// abort path (not a normal batch apply) releases them.
+	ing, err := Open(ctx, tm, Config{Dir: dir, BatchSize: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tm.InstanceStats().Count
+	for i := 0; i < 6; i++ {
+		if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	// Flush must not hang: the aborted applier releases the queued events.
+	if err := ing.Flush(context.Background()); err == nil {
+		t.Error("flush after open-ctx cancel should fail")
+	} else if !errors.Is(err, dterr.ErrClosed) && !errors.Is(err, context.Canceled) {
+		t.Errorf("flush error = %v", err)
+	}
+	if got := tm.InstanceStats().Count; got != base {
+		t.Errorf("aborted applier still applied writes: %d vs base %d", got, base)
+	}
+	// New writes are rejected once the worker is stopped. The abort races
+	// with the write path, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := ing.IngestText(context.Background(), []Fragment{fragmentAt(99)})
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write after cancel = %v, want ErrClosed", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acknowledged writes survived in the WAL: a fresh Open replays them.
+	tm2 := liveTamer(t)
+	ing2, err := Open(context.Background(), tm2, Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing2.Close()
+	if rep := ing2.Replay(); rep.Applied < 6 {
+		t.Errorf("replay after abort = %+v, want >= 6 applied", rep)
+	}
+}
+
+func TestIngestContextCancelUnderBackpressure(t *testing.T) {
+	tm := liveTamer(t)
+	// A tiny byte budget forces the second write to wait on backpressure,
+	// and a huge flush interval keeps the applier from draining it.
+	ing, err := Open(context.Background(), tm, Config{
+		Dir: t.TempDir(), BatchSize: 1 << 20, FlushInterval: time.Hour, MaxQueueBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close's flush signal unblocks the applier, so this drains cleanly.
+	defer ing.Close()
+	if err := ing.IngestText(context.Background(), []Fragment{fragmentAt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = ing.IngestText(ctx, []Fragment{fragmentAt(1)})
+	if !errors.Is(err, dterr.ErrBusy) {
+		t.Errorf("backpressured write with expiring ctx = %v, want ErrBusy", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause not preserved: %v", err)
 	}
 }

@@ -1,67 +1,147 @@
-// Package serve exposes a fused pipeline over HTTP with JSON endpoints —
-// the integration surface a deployment of this system would offer.
+// Package serve exposes a fused pipeline over HTTP — the integration
+// surface a deployment of this system would offer. The server depends
+// only on the Querier/Ingestor interfaces below, so any pipeline
+// implementation (or a test double) can sit behind it.
 //
-// Read endpoints (always available):
+// Versioned API (/v1): every response is the uniform envelope
 //
-//	GET /stats                  Tables I-II store statistics
-//	GET /types                  Table III type distribution
-//	GET /top?k=10               Table IV discussion ranking
-//	GET /show?name=Matilda      Table V (web text) and Table VI (fused) views
-//	GET /find?q=expr&limit=10   filter-language query over the entity store
-//	GET /cheapest?k=5           best-price ranking over the fused table
+//	{"data": ...}                                  on success
+//	{"error": {"code": "...", "message": "..."}}   on failure
 //
-// Write endpoints (live mode, backed by internal/live; 503 otherwise):
+// where error.code is a dterr code and the HTTP status is derived from it
+// (invalid_argument→400, not_found→404, busy→429, closed/unavailable→503,
+// canceled→499, deadline_exceeded→504). List endpoints paginate with
+// limit/offset and echo items/total/limit/offset inside data. Handlers
+// run under the request context, so client disconnects cancel server-side
+// work.
 //
-//	POST /ingest/text           {"fragments":[{"url":...,"text":...}]} — WAL-
-//	                            durable web-text ingestion, 202 on ack
-//	POST /ingest/records        {"source":"name","records":[{...}]} — WAL-
-//	                            durable structured-record ingestion, 202 on ack
-//	POST /flush                 drain the apply queue; ?checkpoint=1 also
-//	                            snapshots state and truncates the WAL
-//	GET  /live/stats            queue depth, batch latency, WAL size, replay info
+//	GET  /v1/stats                    Tables I-II store statistics
+//	GET  /v1/types?limit=&offset=     Table III type distribution
+//	GET  /v1/top?limit=&offset=       Table IV discussion ranking
+//	GET  /v1/cheapest?limit=&offset=  best-price ranking over the fused table
+//	GET  /v1/find?q=&limit=&offset=   filter-language query over entities
+//	GET  /v1/show?name=Matilda        Table V + Table VI views (404 unknown)
+//	POST /v1/ingest/text              WAL-durable web-text ingestion (202)
+//	POST /v1/ingest/records           WAL-durable structured records (202)
+//	POST /v1/flush[?checkpoint=1]     drain apply queue / snapshot + truncate
+//	GET  /v1/live/stats               queue depth, batch latency, WAL size
+//
+// Legacy unversioned routes (/stats, /types, /top, /show, /find,
+// /cheapest, /ingest/*, /flush, /live/stats) remain as deprecated shims
+// for one release; they keep their pre-/v1 response shapes and send a
+// Deprecation header pointing at the /v1 successor.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
 
+	"repro/dterr"
 	"repro/internal/core"
+	"repro/internal/fuse"
 	"repro/internal/ingest"
 	"repro/internal/live"
 	"repro/internal/record"
 	"repro/internal/store"
 )
 
-// Server wraps a completed pipeline run, optionally with a live ingester.
-type Server struct {
-	tamer    *core.Tamer
-	ingester *live.Ingester // nil in read-only (batch) mode
-	mux      *http.ServeMux
+// Querier is the read surface the server needs from a pipeline.
+type Querier interface {
+	InstanceStats() store.Stats
+	EntityStats() store.Stats
+	EntityTypeCounts(ctx context.Context) ([]core.TypeCount, error)
+	TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, error)
+	QueryWebText(ctx context.Context, show string) (*record.Record, error)
+	QueryFused(ctx context.Context, show string) (*record.Record, error)
+	ShowInFused(ctx context.Context, show string) (bool, error)
+	CheapestShows(ctx context.Context, k int) ([]fuse.PricedShow, error)
+	FindEntities(ctx context.Context, query string) ([]*store.Doc, error)
 }
 
-// New builds a read-only server over an already-Run pipeline.
-func New(t *core.Tamer) *Server { return NewLive(t, nil) }
+// Ingestor is the write surface the server needs in live mode.
+type Ingestor interface {
+	IngestText(ctx context.Context, frags []live.Fragment) error
+	IngestRecords(ctx context.Context, source string, recs []*record.Record) error
+	Flush(ctx context.Context) error
+	Checkpoint(ctx context.Context) error
+	Stats() live.Stats
+}
+
+// The concrete pipeline satisfies both interfaces.
+var (
+	_ Querier  = (*core.Tamer)(nil)
+	_ Ingestor = (*live.Ingester)(nil)
+)
+
+// Server wraps a completed pipeline run, optionally with a live ingester.
+type Server struct {
+	q   Querier
+	ing Ingestor // nil in read-only (batch) mode
+	mux *http.ServeMux
+}
+
+// New builds a read-only server over an already-run pipeline.
+func New(q Querier) *Server { return NewLive(q, nil) }
 
 // NewLive builds a server over a pipeline with streaming writes enabled
-// through ing; a nil ingester serves the write endpoints as 503.
-func NewLive(t *core.Tamer, ing *live.Ingester) *Server {
-	s := &Server{tamer: t, ingester: ing, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /types", s.handleTypes)
-	s.mux.HandleFunc("GET /top", s.handleTop)
-	s.mux.HandleFunc("GET /show", s.handleShow)
-	s.mux.HandleFunc("GET /find", s.handleFind)
-	s.mux.HandleFunc("GET /cheapest", s.handleCheapest)
-	s.mux.HandleFunc("POST /ingest/text", s.handleIngestText)
-	s.mux.HandleFunc("POST /ingest/records", s.handleIngestRecords)
-	s.mux.HandleFunc("POST /flush", s.handleFlush)
-	s.mux.HandleFunc("GET /live/stats", s.handleLiveStats)
+// through ing; a nil ingester serves the write endpoints as unavailable.
+// Pass an untyped nil (or use New) — a typed nil pointer in a non-nil
+// interface would slip past the availability check.
+func NewLive(q Querier, ing Ingestor) *Server {
+	s := &Server{q: q, ing: ing, mux: http.NewServeMux()}
+
+	// Versioned surface.
+	s.mux.HandleFunc("GET /v1/stats", s.v1Stats)
+	s.mux.HandleFunc("GET /v1/types", s.v1Types)
+	s.mux.HandleFunc("GET /v1/top", s.v1Top)
+	s.mux.HandleFunc("GET /v1/cheapest", s.v1Cheapest)
+	s.mux.HandleFunc("GET /v1/find", s.v1Find)
+	s.mux.HandleFunc("GET /v1/show", s.v1Show)
+	s.mux.HandleFunc("POST /v1/ingest/text", s.v1IngestText)
+	s.mux.HandleFunc("POST /v1/ingest/records", s.v1IngestRecords)
+	s.mux.HandleFunc("POST /v1/flush", s.v1Flush)
+	s.mux.HandleFunc("GET /v1/live/stats", s.v1LiveStats)
+
+	// Deprecated legacy shims, one release of grace.
+	s.mux.HandleFunc("GET /stats", deprecated("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /types", deprecated("/v1/types", s.handleTypes))
+	s.mux.HandleFunc("GET /top", deprecated("/v1/top", s.handleTop))
+	s.mux.HandleFunc("GET /show", deprecated("/v1/show", s.handleShow))
+	s.mux.HandleFunc("GET /find", deprecated("/v1/find", s.handleFind))
+	s.mux.HandleFunc("GET /cheapest", deprecated("/v1/cheapest", s.handleCheapest))
+	s.mux.HandleFunc("POST /ingest/text", deprecated("/v1/ingest/text", s.handleIngestText))
+	s.mux.HandleFunc("POST /ingest/records", deprecated("/v1/ingest/records", s.handleIngestRecords))
+	s.mux.HandleFunc("POST /flush", deprecated("/v1/flush", s.handleFlush))
+	s.mux.HandleFunc("GET /live/stats", deprecated("/v1/live/stats", s.handleLiveStats))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// deprecated marks a legacy handler's responses with the successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h(w, r)
+	}
+}
+
+// ---- envelope and helpers ---------------------------------------------
+
+// envelope is the uniform /v1 response shape.
+type envelope struct {
+	Data  any      `json:"data,omitempty"`
+	Error *errBody `json:"error,omitempty"`
+}
+
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -71,10 +151,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeData wraps v in the success envelope.
+func writeData(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, envelope{Data: v})
+}
+
+// writeErr maps a typed error to its status and the error envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	code := dterr.CodeOf(err)
+	writeJSON(w, dterr.HTTPStatus(code), envelope{Error: &errBody{Code: string(code), Message: err.Error()}})
+}
+
+// writeError is the legacy (pre-envelope) error shape.
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// intParam leniently reads a legacy numeric query parameter, falling back
+// to def on anything unparsable.
+//
+// Deprecated: the /v1 handlers use strictIntParam, which rejects malformed
+// values instead of silently swallowing them.
 func intParam(r *http.Request, name string, def int) int {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
@@ -87,25 +184,68 @@ func intParam(r *http.Request, name string, def int) int {
 	return n
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]store.Stats{
-		"instance": s.tamer.InstanceStats(),
-		"entity":   s.tamer.EntityStats(),
-	})
+// strictIntParam reads a numeric query parameter, returning an
+// invalid-argument error on malformed or negative values.
+func strictIntParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, dterr.Newf(dterr.CodeInvalidArgument, "parameter %q: %q is not an integer", name, raw)
+	}
+	if n < 0 {
+		return 0, dterr.Newf(dterr.CodeInvalidArgument, "parameter %q: must be >= 0, got %d", name, n)
+	}
+	return n, nil
 }
 
-func (s *Server) handleTypes(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.tamer.EntityTypeCounts())
+// maxPageLimit bounds one page so a single request cannot serialize an
+// unbounded result set.
+const maxPageLimit = 1000
+
+// pageList is the data payload of every /v1 list endpoint.
+type pageList struct {
+	Items  any `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
 }
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.tamer.TopDiscussed(intParam(r, "k", 10)))
+// pageParams reads limit/offset with strict parsing. An absent limit uses
+// defLimit; limit=0 is an explicit empty page (total still reported).
+func pageParams(r *http.Request, defLimit int) (limit, offset int, err error) {
+	limit, err = strictIntParam(r, "limit", defLimit)
+	if err != nil {
+		return 0, 0, err
+	}
+	if limit > maxPageLimit {
+		return 0, 0, dterr.Newf(dterr.CodeInvalidArgument, "parameter \"limit\": must be <= %d, got %d", maxPageLimit, limit)
+	}
+	offset, err = strictIntParam(r, "offset", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return limit, offset, nil
 }
 
-// showView is the JSON rendering of the Table V / Table VI records.
-type showView struct {
-	WebText map[string]string `json:"web_text"`
-	Fused   map[string]string `json:"fused"`
+// paginate slices items to the requested window. Offsets past the end
+// yield an empty page with the true total.
+func paginate[T any](items []T, limit, offset int) pageList {
+	total := len(items)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	window := items[offset:end]
+	if window == nil {
+		window = []T{}
+	}
+	return pageList{Items: window, Total: total, Limit: limit, Offset: offset}
 }
 
 func recordMap(rec *record.Record) map[string]string {
@@ -118,61 +258,138 @@ func recordMap(rec *record.Record) map[string]string {
 	return out
 }
 
-func (s *Server) handleShow(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing name parameter")
+func docMap(d *store.Doc) map[string]string {
+	m := map[string]string{}
+	for _, fieldName := range d.Names() {
+		v, _ := d.Get(fieldName)
+		if v.IsScalar() {
+			m[fieldName] = v.Scalar().Str()
+		}
+	}
+	return m
+}
+
+// ---- /v1 read handlers -------------------------------------------------
+
+func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, dterr.FromContext(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, showView{
-		WebText: recordMap(s.tamer.QueryWebText(name)),
-		Fused:   recordMap(s.tamer.QueryFused(name)),
+	writeData(w, http.StatusOK, map[string]store.Stats{
+		"instance": s.q.InstanceStats(),
+		"entity":   s.q.EntityStats(),
 	})
 }
 
-func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+func (s *Server) v1Types(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r, 50)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := s.q.EntityTypeCounts(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+}
+
+func (s *Server) v1Top(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r, 10)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := s.q.TopDiscussed(r.Context(), 0) // full ranking, then page
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+}
+
+func (s *Server) v1Cheapest(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r, 10)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := s.q.CheapestShows(r.Context(), 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+}
+
+func (s *Server) v1Find(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := pageParams(r, 10)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeError(w, http.StatusBadRequest, "missing q parameter")
+		writeErr(w, dterr.New(dterr.CodeInvalidArgument, "missing q parameter"))
 		return
 	}
-	filter, err := store.ParseFilter(q)
+	docs, err := s.q.FindEntities(r.Context(), q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeErr(w, err)
 		return
-	}
-	limit := intParam(r, "limit", 10)
-	docs := s.tamer.Entities.Find(filter)
-	total := len(docs)
-	if len(docs) > limit {
-		docs = docs[:limit]
 	}
 	out := make([]map[string]string, len(docs))
 	for i, d := range docs {
-		m := map[string]string{}
-		for _, fieldName := range d.Names() {
-			v, _ := d.Get(fieldName)
-			if v.IsScalar() {
-				m[fieldName] = v.Scalar().Str()
-			}
+		out[i] = docMap(d)
+	}
+	writeData(w, http.StatusOK, paginate(out, limit, offset))
+}
+
+// showView is the JSON rendering of the Table V / Table VI records.
+type showView struct {
+	WebText map[string]string `json:"web_text"`
+	Fused   map[string]string `json:"fused"`
+}
+
+func (s *Server) v1Show(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, dterr.New(dterr.CodeInvalidArgument, "missing name parameter"))
+		return
+	}
+	web, err := s.q.QueryWebText(r.Context(), name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fused, err := s.q.QueryFused(r.Context(), name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Unknown show: no text evidence and no fused-table record. The
+	// existence check is independent of field counts, so a fused record
+	// that happens to add nothing beyond SHOW_NAME still counts as found.
+	if !web.Has("TEXT_FEED") {
+		inFused, err := s.q.ShowInFused(r.Context(), name)
+		if err != nil {
+			writeErr(w, err)
+			return
 		}
-		out[i] = m
+		if !inFused {
+			writeErr(w, dterr.Newf(dterr.CodeNotFound, "show %q not found in web text or fused sources", name))
+			return
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"total": total, "entities": out})
+	writeData(w, http.StatusOK, showView{WebText: recordMap(web), Fused: recordMap(fused)})
 }
 
-func (s *Server) handleCheapest(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.tamer.CheapestShows(intParam(r, "k", 5)))
-}
+// ---- /v1 write handlers ------------------------------------------------
 
-// requireLive rejects write requests when the server runs in batch mode.
-func (s *Server) requireLive(w http.ResponseWriter) bool {
-	if s.ingester == nil {
-		writeError(w, http.StatusServiceUnavailable, "live ingestion disabled; restart with --live")
-		return false
-	}
-	return true
-}
+// errLiveDisabled is the batch-mode rejection for write endpoints.
+var errLiveDisabled = dterr.New(dterr.CodeUnavailable, "live ingestion disabled; restart with --live")
 
 // maxIngestBody bounds one write request (8 MB) so a single oversized body
 // cannot bypass the event-count backpressure of the apply queue.
@@ -186,32 +403,40 @@ type ingestTextRequest struct {
 	} `json:"fragments"`
 }
 
-func (s *Server) handleIngestText(w http.ResponseWriter, r *http.Request) {
-	if !s.requireLive(w) {
-		return
-	}
+// parseIngestText decodes and validates a text-ingestion body.
+func parseIngestText(w http.ResponseWriter, r *http.Request) ([]live.Fragment, error) {
 	var req ingestTextRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
-		return
+		return nil, dterr.Wrapf(dterr.CodeInvalidArgument, err, "decoding body")
 	}
 	if len(req.Fragments) == 0 {
-		writeError(w, http.StatusBadRequest, "no fragments in request")
-		return
+		return nil, dterr.New(dterr.CodeInvalidArgument, "no fragments in request")
 	}
 	frags := make([]live.Fragment, len(req.Fragments))
 	for i, f := range req.Fragments {
 		if f.Text == "" {
-			writeError(w, http.StatusBadRequest, "fragment with empty text")
-			return
+			return nil, dterr.New(dterr.CodeInvalidArgument, "fragment with empty text")
 		}
 		frags[i] = live.Fragment{URL: f.URL, Text: f.Text}
 	}
-	if err := s.ingester.IngestText(frags); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	return frags, nil
+}
+
+func (s *Server) v1IngestText(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		writeErr(w, errLiveDisabled)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(frags)})
+	frags, err := parseIngestText(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.ing.IngestText(r.Context(), frags); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusAccepted, map[string]int{"accepted": len(frags)})
 }
 
 // ingestRecordsRequest is the POST /ingest/records body: flat JSON objects,
@@ -221,33 +446,196 @@ type ingestRecordsRequest struct {
 	Records []map[string]any `json:"records"`
 }
 
-func (s *Server) handleIngestRecords(w http.ResponseWriter, r *http.Request) {
-	if !s.requireLive(w) {
-		return
-	}
+// parseIngestRecords decodes and validates a record-ingestion body.
+func parseIngestRecords(w http.ResponseWriter, r *http.Request) (string, []*record.Record, error) {
 	var req ingestRecordsRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: "+err.Error())
-		return
+		return "", nil, dterr.Wrapf(dterr.CodeInvalidArgument, err, "decoding body")
 	}
 	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, "missing source")
-		return
+		return "", nil, dterr.New(dterr.CodeInvalidArgument, "missing source")
 	}
 	if len(req.Records) == 0 {
-		writeError(w, http.StatusBadRequest, "no records in request")
-		return
+		return "", nil, dterr.New(dterr.CodeInvalidArgument, "no records in request")
 	}
 	recs := make([]*record.Record, len(req.Records))
 	for i, row := range req.Records {
 		rec, err := ingest.RecordFromMap(row)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return "", nil, dterr.Wrap(dterr.CodeInvalidArgument, err)
 		}
 		recs[i] = rec
 	}
-	if err := s.ingester.IngestRecords(req.Source, recs); err != nil {
+	return req.Source, recs, nil
+}
+
+func (s *Server) v1IngestRecords(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		writeErr(w, errLiveDisabled)
+		return
+	}
+	source, recs, err := parseIngestRecords(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.ing.IngestRecords(r.Context(), source, recs); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusAccepted, map[string]int{"accepted": len(recs)})
+}
+
+func (s *Server) v1Flush(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		writeErr(w, errLiveDisabled)
+		return
+	}
+	raw := r.URL.Query().Get("checkpoint")
+	checkpoint := false
+	if raw != "" {
+		var err error
+		checkpoint, err = strconv.ParseBool(raw)
+		if err != nil {
+			writeErr(w, dterr.Newf(dterr.CodeInvalidArgument, "parameter \"checkpoint\": %q is not a boolean", raw))
+			return
+		}
+	}
+	op := "flush"
+	var err error
+	if checkpoint {
+		op, err = "checkpoint", s.ing.Checkpoint(r.Context()) // Checkpoint flushes internally
+	} else {
+		err = s.ing.Flush(r.Context())
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, map[string]string{"status": op + " complete"})
+}
+
+func (s *Server) v1LiveStats(w http.ResponseWriter, _ *http.Request) {
+	if s.ing == nil {
+		writeErr(w, errLiveDisabled)
+		return
+	}
+	writeData(w, http.StatusOK, s.ing.Stats())
+}
+
+// ---- legacy (deprecated) handlers --------------------------------------
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]store.Stats{
+		"instance": s.q.InstanceStats(),
+		"entity":   s.q.EntityStats(),
+	})
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
+	rows, err := s.q.EntityTypeCounts(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	rows, err := s.q.TopDiscussed(r.Context(), intParam(r, "k", 10))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleShow(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing name parameter")
+		return
+	}
+	web, err := s.q.QueryWebText(r.Context(), name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	fused, err := s.q.QueryFused(r.Context(), name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, showView{WebText: recordMap(web), Fused: recordMap(fused)})
+}
+
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	docs, err := s.q.FindEntities(r.Context(), q)
+	if err != nil {
+		writeError(w, dterr.HTTPStatus(dterr.CodeOf(err)), err.Error())
+		return
+	}
+	limit := intParam(r, "limit", 10)
+	total := len(docs)
+	if len(docs) > limit {
+		docs = docs[:limit]
+	}
+	out := make([]map[string]string, len(docs))
+	for i, d := range docs {
+		out[i] = docMap(d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "entities": out})
+}
+
+func (s *Server) handleCheapest(w http.ResponseWriter, r *http.Request) {
+	rows, err := s.q.CheapestShows(r.Context(), intParam(r, "k", 5))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// requireLive rejects write requests when the server runs in batch mode.
+func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.ing == nil {
+		writeError(w, http.StatusServiceUnavailable, "live ingestion disabled; restart with --live")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleIngestText(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	frags, err := parseIngestText(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.ing.IngestText(r.Context(), frags); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(frags)})
+}
+
+func (s *Server) handleIngestRecords(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	source, recs, err := parseIngestRecords(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.ing.IngestRecords(r.Context(), source, recs); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -260,9 +648,9 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	op, err := "flush", error(nil)
 	if ck, _ := strconv.ParseBool(r.URL.Query().Get("checkpoint")); ck {
-		op, err = "checkpoint", s.ingester.Checkpoint() // Checkpoint flushes internally
+		op, err = "checkpoint", s.ing.Checkpoint(r.Context())
 	} else {
-		err = s.ingester.Flush()
+		err = s.ing.Flush(r.Context())
 	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -275,5 +663,5 @@ func (s *Server) handleLiveStats(w http.ResponseWriter, _ *http.Request) {
 	if !s.requireLive(w) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.ingester.Stats())
+	writeJSON(w, http.StatusOK, s.ing.Stats())
 }

@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/dterr"
 	"repro/internal/core"
+	"repro/internal/fuse"
 	"repro/internal/live"
 )
 
@@ -22,7 +26,7 @@ func testServer(t *testing.T) *Server {
 	t.Helper()
 	srvOnce.Do(func() {
 		tm := core.New(core.Config{Fragments: 300, FTSources: 5, Seed: 6})
-		if srvErr = tm.Run(); srvErr == nil {
+		if srvErr = tm.Run(context.Background()); srvErr == nil {
 			srv = New(tm)
 		}
 	})
@@ -45,6 +49,8 @@ func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[
 	}
 	return rec, body
 }
+
+// ---- legacy shim parity (the pre-/v1 tests, kept verbatim in behavior) --
 
 func TestStatsEndpoint(t *testing.T) {
 	s := testServer(t)
@@ -186,6 +192,266 @@ func TestBadIntParamFallsBack(t *testing.T) {
 	}
 }
 
+func TestLegacyRoutesCarryDeprecationHeader(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/stats")
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("legacy route missing Deprecation header")
+	}
+	if link := rec.Header().Get("Link"); !strings.Contains(link, "/v1/stats") {
+		t.Errorf("legacy route Link = %q", link)
+	}
+	rec, _ = get(t, s, "/v1/stats")
+	if rec.Header().Get("Deprecation") != "" {
+		t.Error("/v1 route must not be marked deprecated")
+	}
+}
+
+// ---- /v1 surface --------------------------------------------------------
+
+// v1Get fetches path and splits the envelope.
+func v1Get(t *testing.T, s *Server, path string) (code int, data map[string]any, errBody map[string]any) {
+	t.Helper()
+	rec, body := get(t, s, path)
+	if body == nil {
+		t.Fatalf("GET %s: no JSON body (status %d): %s", path, rec.Code, rec.Body)
+	}
+	data, _ = body["data"].(map[string]any)
+	errBody, _ = body["error"].(map[string]any)
+	return rec.Code, data, errBody
+}
+
+func TestV1EnvelopeShape(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if _, ok := body["data"]; !ok {
+		t.Fatalf("success response missing data envelope: %v", body)
+	}
+	if _, ok := body["error"]; ok {
+		t.Errorf("success response carries error member: %v", body)
+	}
+	data := body["data"].(map[string]any)
+	inst := data["instance"].(map[string]any)
+	if inst["Count"].(float64) != 300 {
+		t.Errorf("instance count = %v", inst["Count"])
+	}
+
+	// Error responses carry only the error member, with code and message.
+	rec, body = get(t, s, "/v1/show")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("error status = %d", rec.Code)
+	}
+	if _, ok := body["data"]; ok {
+		t.Errorf("error response carries data member: %v", body)
+	}
+	errBody := body["error"].(map[string]any)
+	if errBody["code"] != "invalid_argument" || errBody["message"] == "" {
+		t.Errorf("error body = %v", errBody)
+	}
+}
+
+func TestV1TopPagination(t *testing.T) {
+	s := testServer(t)
+	code, data, _ := v1Get(t, s, "/v1/top?limit=3")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	items := data["items"].([]any)
+	total := int(data["total"].(float64))
+	if len(items) != 3 || total < 3 {
+		t.Fatalf("items = %d, total = %d", len(items), total)
+	}
+	if int(data["limit"].(float64)) != 3 || int(data["offset"].(float64)) != 0 {
+		t.Errorf("echoed window = %v/%v", data["limit"], data["offset"])
+	}
+
+	// Second page, no overlap with the first.
+	_, data2, _ := v1Get(t, s, "/v1/top?limit=3&offset=3")
+	items2 := data2["items"].([]any)
+	if int(data2["total"].(float64)) != total {
+		t.Errorf("total changed across pages: %v", data2["total"])
+	}
+	if len(items2) > 0 {
+		first := items[0].(map[string]any)["Name"]
+		second := items2[0].(map[string]any)["Name"]
+		if first == second {
+			t.Errorf("pages overlap: %v", first)
+		}
+	}
+}
+
+func TestV1PaginationEdges(t *testing.T) {
+	s := testServer(t)
+	// limit=0 is an explicit empty page; total still reported.
+	code, data, _ := v1Get(t, s, "/v1/types?limit=0")
+	if code != http.StatusOK {
+		t.Fatalf("limit=0 status = %d", code)
+	}
+	if items := data["items"].([]any); len(items) != 0 {
+		t.Errorf("limit=0 items = %d", len(items))
+	}
+	if total := int(data["total"].(float64)); total < 10 {
+		t.Errorf("limit=0 total = %d", total)
+	}
+
+	// Offset past the end: empty page, true total, echoed (clamped) offset.
+	code, data, _ = v1Get(t, s, "/v1/types?limit=5&offset=100000")
+	if code != http.StatusOK {
+		t.Fatalf("offset-past-end status = %d", code)
+	}
+	if items := data["items"].([]any); len(items) != 0 {
+		t.Errorf("offset-past-end items = %d", len(items))
+	}
+	if total := int(data["total"].(float64)); total < 10 {
+		t.Errorf("offset-past-end total = %d", total)
+	}
+}
+
+func TestV1StrictIntParams(t *testing.T) {
+	s := testServer(t)
+	// Regression: the legacy intParam silently swallowed malformed values;
+	// /v1 must reject them as invalid_argument.
+	for _, path := range []string{
+		"/v1/top?limit=banana",
+		"/v1/top?offset=banana",
+		"/v1/types?limit=-3",
+		"/v1/cheapest?offset=1.5",
+		"/v1/find?q=type%20%3D%20Movie&limit=banana",
+		"/v1/top?limit=99999999",
+	} {
+		code, _, errBody := v1Get(t, s, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, code)
+			continue
+		}
+		if errBody["code"] != "invalid_argument" {
+			t.Errorf("GET %s error code = %v", path, errBody["code"])
+		}
+	}
+}
+
+func TestV1ShowFoundAndNotFound(t *testing.T) {
+	s := testServer(t)
+	code, data, _ := v1Get(t, s, "/v1/show?name=Matilda")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	fused := data["fused"].(map[string]any)
+	if fused["CHEAPEST_PRICE"] != "$27" {
+		t.Errorf("fused = %v", fused)
+	}
+
+	code, _, errBody := v1Get(t, s, "/v1/show?name=Zz+Totally+Unknown+Zz")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown show status = %d", code)
+	}
+	if errBody["code"] != "not_found" {
+		t.Errorf("unknown show code = %v", errBody["code"])
+	}
+}
+
+func TestV1FindPaginatesWithTotal(t *testing.T) {
+	s := testServer(t)
+	code, data, _ := v1Get(t, s, "/v1/find?q=type%20%3D%20Movie&limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if items := data["items"].([]any); len(items) != 2 {
+		t.Errorf("items = %d", len(items))
+	}
+	if total := int(data["total"].(float64)); total <= 2 {
+		t.Errorf("total = %d", total)
+	}
+
+	code, _, errBody := v1Get(t, s, "/v1/find?q=%3D%3D%3D")
+	if code != http.StatusBadRequest || errBody["code"] != "invalid_argument" {
+		t.Errorf("malformed filter: %d %v", code, errBody)
+	}
+}
+
+func TestV1WriteEndpointsUnavailableInBatchMode(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/v1/ingest/text", "/v1/ingest/records", "/v1/flush"} {
+		rec, body := post(t, s, path, "{}")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("POST %s = %d, want 503", path, rec.Code)
+			continue
+		}
+		errBody := body["error"].(map[string]any)
+		if errBody["code"] != "unavailable" {
+			t.Errorf("POST %s code = %v", path, errBody["code"])
+		}
+	}
+	code, _, errBody := v1Get(t, s, "/v1/live/stats")
+	if code != http.StatusServiceUnavailable || errBody["code"] != "unavailable" {
+		t.Errorf("GET /v1/live/stats = %d %v", code, errBody)
+	}
+}
+
+func TestV1RequestContextCancellation(t *testing.T) {
+	s := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the handler runs
+	req := httptest.NewRequest(http.MethodGet, "/v1/top", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("cancelled request status = %d, want 499", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	errBody := body["error"].(map[string]any)
+	if errBody["code"] != "canceled" {
+		t.Errorf("cancelled request code = %v", errBody["code"])
+	}
+}
+
+// failingQuerier exercises the typed-error→status mapping for classes the
+// real pipeline rarely produces on demand.
+type failingQuerier struct {
+	Querier
+	err error
+}
+
+func (f failingQuerier) TopDiscussed(context.Context, int) ([]fuse.Discussed, error) {
+	return nil, f.err
+}
+
+func TestV1TypedErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{dterr.ErrInvalidArgument, http.StatusBadRequest, "invalid_argument"},
+		{dterr.ErrNotFound, http.StatusNotFound, "not_found"},
+		{dterr.ErrBusy, http.StatusTooManyRequests, "busy"},
+		{dterr.ErrClosed, http.StatusServiceUnavailable, "closed"},
+		{dterr.ErrUnavailable, http.StatusServiceUnavailable, "unavailable"},
+		{dterr.ErrDeadlineExceeded, http.StatusGatewayTimeout, "deadline_exceeded"},
+		{errors.New("plain failure"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		s := New(failingQuerier{err: c.err})
+		rec, body := get(t, s, "/v1/top")
+		if rec.Code != c.wantStatus {
+			t.Errorf("%v: status = %d, want %d", c.err, rec.Code, c.wantStatus)
+			continue
+		}
+		errBody := body["error"].(map[string]any)
+		if errBody["code"] != c.wantCode {
+			t.Errorf("%v: code = %v, want %s", c.err, errBody["code"], c.wantCode)
+		}
+	}
+}
+
+// ---- write endpoints (live mode) ----------------------------------------
+
 func post(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, map[string]any) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
@@ -205,10 +471,10 @@ func post(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorde
 func liveServer(t *testing.T) (*Server, *live.Ingester) {
 	t.Helper()
 	tm := core.New(core.Config{Fragments: 150, FTSources: 3, Shards: 2, Seed: 11})
-	if err := tm.Run(); err != nil {
+	if err := tm.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	ing, err := live.Open(tm, live.Config{Dir: t.TempDir(), BatchSize: 4})
+	ing, err := live.Open(context.Background(), tm, live.Config{Dir: t.TempDir(), BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,6 +545,90 @@ func TestIngestRecordsEndpointReflectedInShowQuery(t *testing.T) {
 	}
 }
 
+func TestV1IngestAndQueryRoundTrip(t *testing.T) {
+	s, _ := liveServer(t)
+	rec, body := post(t, s, "/v1/ingest/records",
+		`{"source":"api_feed","records":[{"SHOW_NAME":"Copper Skyline","THEATER":"Majestic","CHEAPEST_PRICE":58}]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	data := body["data"].(map[string]any)
+	if data["accepted"].(float64) != 1 {
+		t.Errorf("accepted = %v", data["accepted"])
+	}
+	if rec, _ := post(t, s, "/v1/flush", ""); rec.Code != http.StatusOK {
+		t.Fatalf("v1 flush status = %d", rec.Code)
+	}
+	code, data, _ := v1Get(t, s, "/v1/show?name=Copper+Skyline")
+	if code != http.StatusOK {
+		t.Fatalf("v1 show status = %d", code)
+	}
+	fused := data["fused"].(map[string]any)
+	if fused["THEATER"] != "Majestic" {
+		t.Errorf("fused = %v", fused)
+	}
+	code, data, _ = v1Get(t, s, "/v1/live/stats")
+	if code != http.StatusOK {
+		t.Fatalf("v1 live stats = %d", code)
+	}
+	if data["records_ingested"].(float64) != 1 {
+		t.Errorf("records_ingested = %v", data["records_ingested"])
+	}
+}
+
+func TestV1ShowFoundWhenFusedRecordAddsNoFields(t *testing.T) {
+	// Regression: the 404 check must be an existence test, not a
+	// field-count diff — a fused record carrying only SHOW_NAME (no
+	// enrichment beyond the web-text fallback) is still a known show.
+	s, _ := liveServer(t)
+	rec, _ := post(t, s, "/v1/ingest/records",
+		`{"source":"sparse_feed","records":[{"SHOW_NAME":"Bare Minimum"}]}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	if rec, _ := post(t, s, "/v1/flush", ""); rec.Code != http.StatusOK {
+		t.Fatalf("flush = %d", rec.Code)
+	}
+	code, data, errBody := v1Get(t, s, "/v1/show?name=Bare+Minimum")
+	if code != http.StatusOK {
+		t.Fatalf("sparse fused show = %d (%v), want 200", code, errBody)
+	}
+	if data["fused"].(map[string]any)["SHOW_NAME"] != "Bare Minimum" {
+		t.Errorf("fused view = %v", data["fused"])
+	}
+}
+
+func TestV1IngestBadRequests(t *testing.T) {
+	s, _ := liveServer(t)
+	cases := []struct{ path, body string }{
+		{"/v1/ingest/text", `not json`},
+		{"/v1/ingest/text", `{"fragments":[]}`},
+		{"/v1/ingest/text", `{"fragments":[{"url":"http://x","text":""}]}`},
+		{"/v1/ingest/records", `{"records":[{"A":1}]}`},
+		{"/v1/ingest/records", `{"source":"s","records":[]}`},
+		{"/v1/ingest/records", `{"source":"s","records":[{"A":{"nested":true}}]}`},
+	}
+	for _, c := range cases {
+		rec, body := post(t, s, c.path, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %s %q = %d, want 400", c.path, c.body, rec.Code)
+			continue
+		}
+		errBody := body["error"].(map[string]any)
+		if errBody["code"] != "invalid_argument" {
+			t.Errorf("POST %s code = %v", c.path, errBody["code"])
+		}
+	}
+	// Malformed checkpoint parameter is invalid_argument on /v1 (the
+	// legacy shim silently treats it as false).
+	rec, body := post(t, s, "/v1/flush?checkpoint=banana", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("v1 flush bad checkpoint = %d", rec.Code)
+	} else if body["error"].(map[string]any)["code"] != "invalid_argument" {
+		t.Errorf("v1 flush bad checkpoint body = %v", body)
+	}
+}
+
 func TestIngestEndpointBadRequests(t *testing.T) {
 	s, _ := liveServer(t)
 	cases := []struct{ path, body string }{
@@ -309,3 +659,8 @@ func TestFlushCheckpointEndpoint(t *testing.T) {
 		t.Errorf("wal not truncated after checkpoint: %d bytes", size)
 	}
 }
+
+// Interface conformance beyond the concrete pipeline: the server must be
+// constructible from any Querier implementation (this is what keeps serve
+// decoupled from *core.Tamer).
+var _ Querier = failingQuerier{}
