@@ -279,6 +279,12 @@ func (t *Tamer) QueryFused(ctx context.Context, show string) (*Record, error) {
 	return t.core.QueryFused(ctx, show)
 }
 
+// ShowInFused reports whether the consolidated fused table holds a record
+// for the show — the existence check behind the API's 404.
+func (t *Tamer) ShowInFused(ctx context.Context, show string) (bool, error) {
+	return t.core.ShowInFused(ctx, show)
+}
+
 // CheapestShows ranks consolidated shows by price ascending; k <= 0
 // returns all.
 func (t *Tamer) CheapestShows(ctx context.Context, k int) ([]PricedShow, error) {

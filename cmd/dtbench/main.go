@@ -33,6 +33,7 @@ import (
 	datatamer "repro"
 	"repro/client"
 	"repro/internal/fuse"
+	"repro/internal/store"
 )
 
 func main() {
@@ -249,6 +250,23 @@ func measure(op string, n int, fn func() (items int, err error)) (benchResult, e
 	return res, nil
 }
 
+// buildScanStore fills a sharded namespace with documents whose text field
+// defeats every secondary index, so CountWhere must scan all shards. One in
+// 40 documents carries the needle token.
+func buildScanStore(shards int) *store.Sharded {
+	s := store.NewSharded("bench.docs", "key", shards, 0)
+	for i := 0; i < 8000; i++ {
+		text := fmt.Sprintf("fragment %d about broadway pricing and schedules", i)
+		if i%40 == 0 {
+			text += " with a needle token"
+		}
+		s.Insert(store.NewDoc().
+			Set("key", store.Str(fmt.Sprintf("k%05d", i))).
+			Set("text", store.Str(text)))
+	}
+	return s
+}
+
 // runBench times the hot query paths in-process and over HTTP (through
 // the /v1 client SDK against an in-process server) and writes the rows to
 // outPath.
@@ -271,8 +289,29 @@ func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) e
 			_, err := tm.QueryFused(ctx, "Matilda")
 			return 1, err
 		}},
+		{"core/show_lookup", func() (int, error) {
+			ok, err := tm.ShowInFused(ctx, "Matilda")
+			if err == nil && !ok {
+				return 0, fmt.Errorf("Matilda missing from fused view")
+			}
+			return 1, err
+		}},
+		{"core/text_feeds", func() (int, error) {
+			r, err := tm.QueryWebText(ctx, "Matilda")
+			if err != nil {
+				return 0, err
+			}
+			if !r.Has("TEXT_FEED") {
+				return 0, fmt.Errorf("no text feed for Matilda")
+			}
+			return 1, nil
+		}},
 		{"core/cheapest", func() (int, error) {
 			rows, err := tm.CheapestShows(ctx, 5)
+			return len(rows), err
+		}},
+		{"core/coverage", func() (int, error) {
+			rows, err := tm.FusionCoverage(ctx)
 			return len(rows), err
 		}},
 		{"core/find", func() (int, error) {
@@ -284,6 +323,44 @@ func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) e
 	var results []benchResult
 	for _, b := range inproc {
 		res, err := measure(b.op, n, b.fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	// Parallel shard fan-out: an unindexed scan over a synthetic sharded
+	// namespace at 1, 4, and 16 shards. The per-shard work is identical, so
+	// the row ratios expose how well the router overlaps shard scans.
+	for _, shards := range []int{1, 4, 16} {
+		s := buildScanStore(shards)
+		op := fmt.Sprintf("store/scan_%02dshard", shards)
+		res, err := measure(op, n, func() (int, error) {
+			got := s.CountWhere(store.Contains("text", "needle"))
+			if got == 0 {
+				return 0, fmt.Errorf("%s: no matches", op)
+			}
+			return int(got), nil
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	// Inverted text index vs scan: the same corpus and query as
+	// store/scan_04shard, but served from tokenized postings with candidate
+	// verification instead of a substring sweep over every document.
+	{
+		s := buildScanStore(4)
+		s.EnsureTextIndex("text")
+		res, err := measure("store/text_indexed_04shard", n, func() (int, error) {
+			got := s.CountWhere(store.Contains("text", "needle"))
+			if got == 0 {
+				return 0, fmt.Errorf("text_indexed: no matches")
+			}
+			return int(got), nil
+		})
 		if err != nil {
 			return err
 		}

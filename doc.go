@@ -5,8 +5,10 @@
 //
 // The package is a facade over the internal modules:
 //
-//   - a sharded semi-structured document store with extent accounting and
-//     secondary indexes (internal/store) — the Tables I-II substrate;
+//   - a sharded semi-structured document store with extent accounting,
+//     secondary indexes, an inverted text index for substring queries,
+//     and concurrent fan-out reads across shards (internal/store) — the
+//     Tables I-II substrate;
 //   - a domain-specific parser extracting typed entities from text
 //     (internal/extract) with flattening into flat records
 //     (internal/flatten);
@@ -16,7 +18,10 @@
 //     internal/ml, internal/clean) — the Section IV classifier;
 //   - expert sourcing for uncertain decisions (internal/expert);
 //   - fusion queries that enrich text results with structured fields
-//     (internal/fuse) — Tables IV-VI;
+//     (internal/fuse) — Tables IV-VI — served from immutable fused-view
+//     snapshots with a hash show index and cached aggregates, so lookups
+//     cost a map probe and concurrent live ingest never exposes a
+//     half-built view;
 //   - live ingestion (internal/live): streaming writes after the batch
 //     run, acknowledged only once appended to a CRC-framed write-ahead
 //     log, applied by a batching worker pool, and recovered after a

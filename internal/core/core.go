@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/dterr"
@@ -97,12 +98,18 @@ type Tamer struct {
 	Query     *fuse.Engine
 
 	mu           sync.RWMutex
-	fused        []*record.Record // consolidated structured records, global names
+	view         *fusedView       // immutable fused-table snapshot, swapped on refresh
 	pending      []*record.Record // translated+cleaned, awaiting consolidation
 	fusedDirty   bool             // pending records not yet folded into fused
 	dedupMatcher *dedup.Matcher   // Section IV classifier, trained once
 	matchReports []*match.Report
 	stages       []StageReport
+
+	// entityGen counts completed fragment applies; top memoizes the full
+	// Table IV ranking against it, so the ranking is recomputed only after
+	// the entity store actually changed.
+	entityGen atomic.Uint64
+	top       topCache
 }
 
 // New builds a pipeline with the given configuration.
@@ -134,6 +141,7 @@ func New(cfg Config) *Tamer {
 		expert.NewSimulated("intern", 0.75, nil, cfg.Seed+103),
 	)
 	t.Query = &fuse.Engine{Instances: t.Instances, Entities: t.Entities}
+	t.view = newFusedView(nil)
 	return t
 }
 
@@ -152,8 +160,9 @@ func (t *Tamer) MatchReports() []*match.Report {
 }
 
 // FusedRecords returns the consolidated structured records under global
-// attribute names, folding in any pending incremental records first.
-func (t *Tamer) FusedRecords() []*record.Record { return t.fusedSnapshot() }
+// attribute names, folding in any pending incremental records first. The
+// returned slice is an immutable snapshot; callers must not modify it.
+func (t *Tamer) FusedRecords() []*record.Record { return t.fusedSnapshot().records }
 
 func (t *Tamer) stage(name string, items int, start time.Time) {
 	t.stages = append(t.stages, StageReport{Stage: name, Items: items, Duration: time.Since(start)})
@@ -253,9 +262,13 @@ func (t *Tamer) parseFragments(ctx context.Context, frags []datagen.Fragment, wo
 }
 
 // indexStores creates the standard index sets: 1 index on dt.instance and
-// 8 on dt.entity — the nindexes of Tables I and II.
+// 8 on dt.entity — the nindexes of Tables I and II — plus the inverted
+// text index over dt.instance.text that serves substring queries
+// (TextFeeds and friends). The text index is an accelerator outside the
+// secondary-index set, so the Table I/II nindexes counts are unchanged.
 func (t *Tamer) indexStores() {
 	t.Instances.EnsureIndex("source_url_1", "source_url", store.HashIndex)
+	t.Instances.EnsureTextIndex("text")
 
 	t.Entities.EnsureIndex("name_1", "name", store.BTreeIndex)
 	t.Entities.EnsureIndex("type_1", "type", store.HashIndex)
@@ -362,10 +375,10 @@ func (t *Tamer) CleanAndConsolidate(ctx context.Context) error {
 		}
 	}
 	t.Cleaner.ApplyAll(translated)
-	t.fused = sortFused(consolidate(translated, t.matcherLocked()))
+	t.view = newFusedView(consolidate(translated, t.matcherLocked()))
 	t.pending = nil
 	t.fusedDirty = false
-	t.stage("clean-consolidate", len(t.fused), start)
+	t.stage("clean-consolidate", len(t.view.records), start)
 	return nil
 }
 
@@ -460,11 +473,20 @@ func (t *Tamer) InstanceStats() store.Stats { return t.Instances.Stats() }
 func (t *Tamer) EntityStats() store.Stats { return t.Entities.Stats() }
 
 // TopDiscussed runs the Table IV query; k <= 0 returns the full ranking.
+// The full ranking is cached against the entity-store generation, so
+// repeated queries between fragment applies cost one map copy; the
+// generation is read before computing, so a ranking that raced an apply is
+// never served after that apply completed.
 func (t *Tamer) TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}
-	return t.Query.TopDiscussed(k), nil
+	gen := t.entityGen.Load()
+	rows := t.top.get(gen, func() []fuse.Discussed { return t.Query.TopDiscussed(0) })
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows, nil
 }
 
 // QueryWebText runs the Table V query: the show as seen from web text only.
@@ -479,17 +501,28 @@ func (t *Tamer) QueryWebText(ctx context.Context, show string) (*record.Record, 
 }
 
 // QueryFused runs the Table VI query: the web-text view enriched with the
-// consolidated structured record for the show.
+// consolidated structured record for the show. The structured side is one
+// probe of the snapshot's SHOW_NAME hash index instead of a renormalizing
+// scan of the fused table.
 func (t *Tamer) QueryFused(ctx context.Context, show string) (*record.Record, error) {
-	web, err := t.QueryWebText(ctx, show)
+	_, fused, err := t.QueryShow(ctx, show)
+	return fused, err
+}
+
+// QueryShow runs Tables V and VI in one pass: the web-text view is
+// computed once and the fused enrichment reuses it, so a serving layer
+// that returns both views pays the text search once per request. When the
+// fused table has no record for the show, fused is the web view itself.
+func (t *Tamer) QueryShow(ctx context.Context, show string) (web, fused *record.Record, err error) {
+	web, err = t.QueryWebText(ctx, show)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	matches := fuse.Lookup(t.fusedSnapshot(), "SHOW_NAME", show)
+	matches := t.fusedSnapshot().lookup(show)
 	if len(matches) == 0 {
-		return web, nil
+		return web, web, nil
 	}
-	return fuse.Enrich(web, matches[0]), nil
+	return web, fuse.Enrich(web, matches[0]), nil
 }
 
 // ShowInFused reports whether the consolidated fused table holds a record
@@ -499,7 +532,7 @@ func (t *Tamer) ShowInFused(ctx context.Context, show string) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, dterr.FromContext(err)
 	}
-	return len(fuse.Lookup(t.fusedSnapshot(), "SHOW_NAME", show)) > 0, nil
+	return len(t.fusedSnapshot().lookup(show)) > 0, nil
 }
 
 // FindEntities parses the filter-language query and runs it over the
@@ -525,7 +558,7 @@ func (t *Tamer) CheapestShows(ctx context.Context, k int) ([]fuse.PricedShow, er
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}
-	return fuse.CheapestShows(t.fusedSnapshot(), k), nil
+	return t.fusedSnapshot().cheapest(k), nil
 }
 
 // FusionCoverage reports per-attribute fill rates of the consolidated
@@ -534,7 +567,7 @@ func (t *Tamer) FusionCoverage(ctx context.Context) ([]fuse.Coverage, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}
-	return fuse.AttributeCoverage(t.fusedSnapshot(), fuse.TableVIOrder[:3]), nil
+	return t.fusedSnapshot().coverageRows(), nil
 }
 
 // ClassifierCV runs the Section IV evaluation for one entity type: 10-fold

@@ -42,6 +42,10 @@ func (t *Tamer) ApplyFragments(ctx context.Context, frags []datagen.Fragment, wo
 			entities++
 		}
 	}
+	// Bump the entity generation only after every insert landed, so a
+	// ranking cached during the batch is keyed to the pre-batch generation
+	// and the first query after this return recomputes.
+	t.entityGen.Add(1)
 	return len(results), entities, nil
 }
 
@@ -129,9 +133,10 @@ func (t *Tamer) refreshFusedLocked() int {
 			dirtyKeys[k] = true
 		}
 	}
+	fused := t.view.records
 	affected := make([]*record.Record, 0, 2*n)
-	untouched := make([]*record.Record, 0, len(t.fused))
-	for _, r := range t.fused {
+	untouched := make([]*record.Record, 0, len(fused))
+	for _, r := range fused {
 		hit := false
 		for _, k := range fusedBlocker(r) {
 			if dirtyKeys[k] {
@@ -147,7 +152,10 @@ func (t *Tamer) refreshFusedLocked() int {
 	}
 	affected = append(affected, t.pending...)
 	merged := append(untouched, consolidate(affected, t.matcherLocked())...)
-	t.fused = sortFused(merged)
+	// Install a whole new snapshot: readers holding the previous view keep
+	// a consistent table, and the new view starts with cold (correct)
+	// aggregate caches.
+	t.view = newFusedView(merged)
 	t.pending = nil
 	t.fusedDirty = false
 	return n
@@ -161,22 +169,23 @@ func (t *Tamer) FusedDirty() bool {
 	return t.fusedDirty
 }
 
-// fusedSnapshot returns the current fused view, refreshing it first when
-// incremental records are pending. The returned slice is never mutated in
-// place — refreshes install a new slice — so callers may iterate it
-// without holding the lock.
-func (t *Tamer) fusedSnapshot() []*record.Record {
+// fusedSnapshot returns the current fused-view snapshot, refreshing it
+// first when incremental records are pending. The snapshot is immutable —
+// refreshes install a whole new view — so callers may query it without
+// holding the lock, and its cached aggregates stay consistent with its
+// records by construction.
+func (t *Tamer) fusedSnapshot() *fusedView {
 	t.mu.RLock()
 	dirty := t.fusedDirty
-	fused := t.fused
+	view := t.view
 	t.mu.RUnlock()
 	if !dirty {
-		return fused
+		return view
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.refreshFusedLocked()
-	return t.fused
+	return t.view
 }
 
 // RestoreFused installs a previously consolidated fused view, the recovery
@@ -184,7 +193,7 @@ func (t *Tamer) fusedSnapshot() []*record.Record {
 func (t *Tamer) RestoreFused(recs []*record.Record) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.fused = recs
+	t.view = newFusedView(recs)
 	t.pending = nil
 	t.fusedDirty = false
 }

@@ -61,6 +61,8 @@ func (t *Tamer) LoadStores(dir string) error {
 	t.Query.Instances = inst
 	t.Query.Entities = ent
 	t.indexStores()
+	// The entity store changed wholesale: retire any memoized ranking.
+	t.entityGen.Add(1)
 	return nil
 }
 

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/record"
+)
+
+// liveShowName builds show names with pairwise-distinct 4-char blocking
+// prefixes, so the fused-view deduper treats each as its own entity.
+func liveShowName(i int) string {
+	return fmt.Sprintf("%c%czq Premiere %02d", 'A'+i, 'a'+(i*7)%26, i)
+}
+
+// TestSnapshotIsolationUnderLiveIngest drives concurrent fused queries
+// against a pipeline while records and fragments stream in. Run under
+// -race (CI does), it checks the snapshot contract: a query never observes
+// a half-built fused view — every record it sees carries a SHOW_NAME and
+// the cheapest/coverage aggregates are internally consistent with the view
+// they came from.
+func TestSnapshotIsolationUnderLiveIngest(t *testing.T) {
+	ctx := context.Background()
+	tm := New(Config{Fragments: 150, FTSources: 4, Shards: 4, Seed: 9})
+	if err := tm.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: streams structured records and fragments, refreshing between
+	// batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			rec := record.New()
+			// Names get distinct blocking prefixes so entity consolidation
+			// keeps them as separate shows instead of clustering them.
+			rec.Set("SHOW_NAME", record.String(liveShowName(i)))
+			rec.Set("CHEAPEST_PRICE", record.String(fmt.Sprintf("$%d", 10+i)))
+			if _, err := tm.ApplyRecords(ctx, "live_feed", []*record.Record{rec}); err != nil {
+				t.Errorf("apply records: %v", err)
+				return
+			}
+			frags := datagen.GenerateWebText(datagen.WebTextConfig{Fragments: 4, Seed: int64(100 + i)})
+			if _, _, err := tm.ApplyFragments(ctx, frags, 2); err != nil {
+				t.Errorf("apply fragments: %v", err)
+				return
+			}
+			if _, err := tm.RefreshFused(ctx); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: hammer every snapshot-backed query until the writer is done.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range tm.FusedRecords() {
+					if rec.GetString("SHOW_NAME") == "" {
+						t.Error("fused record without SHOW_NAME: half-built view escaped")
+						return
+					}
+				}
+				if _, err := tm.QueryFused(ctx, "Matilda"); err != nil {
+					t.Errorf("query fused: %v", err)
+					return
+				}
+				if _, err := tm.ShowInFused(ctx, liveShowName(0)); err != nil {
+					t.Errorf("show in fused: %v", err)
+					return
+				}
+				rows, err := tm.CheapestShows(ctx, 5)
+				if err != nil {
+					t.Errorf("cheapest: %v", err)
+					return
+				}
+				for i := 1; i < len(rows); i++ {
+					if rows[i-1].Price > rows[i].Price {
+						t.Errorf("cheapest unsorted: %v > %v", rows[i-1], rows[i])
+						return
+					}
+				}
+				if _, err := tm.TopDiscussed(ctx, 10); err != nil {
+					t.Errorf("top discussed: %v", err)
+					return
+				}
+				if _, err := tm.FusionCoverage(ctx); err != nil {
+					t.Errorf("coverage: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the final refresh the caches must be current, not stale: every
+	// streamed show is visible through the hash index and the cheapest
+	// ranking includes the $10 premiere.
+	for i := 0; i < rounds; i++ {
+		show := liveShowName(i)
+		ok, err := tm.ShowInFused(ctx, show)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s missing from fused view after refresh", show)
+		}
+	}
+	all, err := tm.CheapestShows(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range all {
+		if row.Show == liveShowName(0) && row.Price == 10 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("cheapest ranking is stale: streamed $10 premiere missing")
+	}
+}
+
+// TestTopDiscussedCacheInvalidation checks the generation-keyed ranking
+// cache: repeated queries serve the memoized ranking, and a fragment apply
+// that adds mentions is visible to the first query after it returns.
+func TestTopDiscussedCacheInvalidation(t *testing.T) {
+	ctx := context.Background()
+	tm := New(Config{Fragments: 200, FTSources: 3, Shards: 2, Seed: 4})
+	if err := tm.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before, err := tm.TopDiscussed(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tm.TopDiscussed(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(again) {
+		t.Fatalf("cached ranking differs: %d vs %d rows", len(before), len(again))
+	}
+	var total int64
+	for _, d := range before {
+		total += d.Mentions
+	}
+
+	frags := datagen.GenerateWebText(datagen.WebTextConfig{Fragments: 120, Seed: 77})
+	if _, _, err := tm.ApplyFragments(ctx, frags, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tm.TopDiscussed(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalAfter int64
+	for _, d := range after {
+		totalAfter += d.Mentions
+	}
+	if totalAfter <= total {
+		t.Errorf("ranking not refreshed after apply: %d mentions before, %d after", total, totalAfter)
+	}
+}
+
+// TestCheapestCopyIsolation ensures callers cannot poison the view's cached
+// aggregate by mutating a returned row.
+func TestCheapestCopyIsolation(t *testing.T) {
+	ctx := context.Background()
+	tm := sharedTamer(t)
+	rows, err := tm.CheapestShows(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Skip("no priced shows at this seed")
+	}
+	want := rows[0].Show
+	rows[0].Show = "MUTATED"
+	fresh, err := tm.CheapestShows(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0].Show != want {
+		t.Errorf("cache poisoned: got %q, want %q", fresh[0].Show, want)
+	}
+}

@@ -29,30 +29,46 @@ type Engine struct {
 }
 
 // TopDiscussed ranks award-winning movies/shows by mention count in the
-// entity store — the Table IV query. Ties break lexicographically.
+// entity store — the Table IV query. Ties break lexicographically. The
+// aggregation runs shard-local maps in parallel and merges them, so the
+// scan cost is bounded by the largest shard.
 func (e *Engine) TopDiscussed(k int) []Discussed {
-	counts := map[string]*Discussed{}
-	e.Entities.Scan(func(_ int, _ int64, d *store.Doc) bool {
-		if d.PathString("type") != "Movie" {
+	parts := make([]map[string]*Discussed, e.Entities.NumShards())
+	e.Entities.ForEachShard(func(shard int, c *store.Collection) {
+		counts := map[string]*Discussed{}
+		c.Scan(func(_ int64, d *store.Doc) bool {
+			if d.PathString("type") != "Movie" {
+				return true
+			}
+			if d.PathString("attributes.award_winning") != "true" {
+				return true
+			}
+			name := textutil.Normalize(d.PathString("name"))
+			if name == "" {
+				return true
+			}
+			dd, ok := counts[name]
+			if !ok {
+				dd = &Discussed{Name: displayName(d.PathString("name"))}
+				counts[name] = dd
+			}
+			dd.Mentions++
 			return true
-		}
-		if d.PathString("attributes.award_winning") != "true" {
-			return true
-		}
-		name := textutil.Normalize(d.PathString("name"))
-		if name == "" {
-			return true
-		}
-		dd, ok := counts[name]
-		if !ok {
-			dd = &Discussed{Name: displayName(d.PathString("name"))}
-			counts[name] = dd
-		}
-		dd.Mentions++
-		return true
+		})
+		parts[shard] = counts
 	})
-	out := make([]Discussed, 0, len(counts))
-	for _, d := range counts {
+	merged := map[string]*Discussed{}
+	for _, counts := range parts {
+		for name, d := range counts {
+			if got, ok := merged[name]; ok {
+				got.Mentions += d.Mentions
+			} else {
+				merged[name] = d
+			}
+		}
+	}
+	out := make([]Discussed, 0, len(merged))
+	for _, d := range merged {
 		out = append(out, *d)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -84,17 +100,18 @@ func displayName(s string) string {
 // detail. Relevance counts "grossed" spans, show mentions, and award
 // context; ties break toward longer, then lexicographically smaller feeds.
 func (e *Engine) TextFeeds(show string, limit int) []string {
-	var feeds []string
+	// The Contains filter is served by the instance store's inverted text
+	// index when one exists, so this touches only candidate fragments
+	// instead of the whole corpus.
 	docs := e.Instances.Find(store.Contains("text", show))
-	for _, d := range docs {
-		feeds = append(feeds, d.PathString("text"))
-	}
 	lowShow := strings.ToLower(show)
 	// Relevance is the best single sentence about the queried show:
 	// "grossed" amounts co-occurring with the show name dominate, then
 	// mention count and award context. Scoring per-sentence (max, not sum)
 	// keeps a fragment that merely mentions many shows from outranking a
-	// dense box-office statement about this one.
+	// dense box-office statement about this one. Scores are computed once
+	// per feed, not once per comparison — sentence splitting is the
+	// expensive part.
 	score := func(s string) int {
 		best := 0
 		for _, sent := range textutil.Sentences(s) {
@@ -111,18 +128,30 @@ func (e *Engine) TextFeeds(show string, limit int) []string {
 		}
 		return best
 	}
-	sort.Slice(feeds, func(i, j int) bool {
-		si, sj := score(feeds[i]), score(feeds[j])
-		if si != sj {
-			return si > sj
+	type scoredFeed struct {
+		feed  string
+		score int
+	}
+	scored := make([]scoredFeed, 0, len(docs))
+	for _, d := range docs {
+		text := d.PathString("text")
+		scored = append(scored, scoredFeed{feed: text, score: score(text)})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].score != scored[j].score {
+			return scored[i].score > scored[j].score
 		}
-		if len(feeds[i]) != len(feeds[j]) {
-			return len(feeds[i]) > len(feeds[j])
+		if len(scored[i].feed) != len(scored[j].feed) {
+			return len(scored[i].feed) > len(scored[j].feed)
 		}
-		return feeds[i] < feeds[j]
+		return scored[i].feed < scored[j].feed
 	})
-	if limit > 0 && len(feeds) > limit {
-		feeds = feeds[:limit]
+	if limit > 0 && len(scored) > limit {
+		scored = scored[:limit]
+	}
+	feeds := make([]string, 0, len(scored))
+	for _, s := range scored {
+		feeds = append(feeds, s.feed)
 	}
 	return feeds
 }
@@ -177,6 +206,34 @@ func Lookup(records []*record.Record, attr, value string) []*record.Record {
 		}
 	}
 	return out
+}
+
+// ShowIndex is a hash index over one attribute of a record set, keyed by
+// the normalized attribute value — the precomputed form of Lookup. Built
+// once per fused-view snapshot, it turns the per-query O(n) renormalizing
+// scan into a single map probe. A ShowIndex is immutable after NewShowIndex
+// and safe for concurrent readers.
+type ShowIndex struct {
+	attr  string
+	byKey map[string][]*record.Record
+}
+
+// NewShowIndex indexes records by the normalized value of attr, preserving
+// record order within each key.
+func NewShowIndex(records []*record.Record, attr string) *ShowIndex {
+	ix := &ShowIndex{attr: attr, byKey: make(map[string][]*record.Record, len(records))}
+	for _, r := range records {
+		key := textutil.Normalize(r.GetString(attr))
+		ix.byKey[key] = append(ix.byKey[key], r)
+	}
+	return ix
+}
+
+// Lookup returns the records whose indexed attribute normalizes equal to
+// value, in the order they were indexed — identical to Lookup over the
+// same records.
+func (ix *ShowIndex) Lookup(value string) []*record.Record {
+	return ix.byKey[textutil.Normalize(value)]
 }
 
 // FormatKV renders a record in the paper's Table V/VI style: one attribute

@@ -6,6 +6,13 @@
 // drives the incremental hooks in internal/core (extract -> shard insert ->
 // index maintenance -> incremental consolidation -> fused-view refresh).
 //
+// Queries stay fully available while batches apply: the fused view is an
+// immutable snapshot swapped atomically on refresh, so readers observe the
+// pre-batch or post-batch table — never an intermediate one — and the
+// apply worker, not the serving path, pays the consolidation cost. Text
+// inserts ride the same maintenance as batch ingest, keeping the instance
+// store's inverted text index current for serve-time substring queries.
+//
 // Durability: an acknowledged write survives a process kill. Recovery
 // replays the WAL over the last checkpoint (store snapshots + fused view),
 // fenced by sequence numbers so a crash between checkpoint and WAL

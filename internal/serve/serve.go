@@ -55,6 +55,7 @@ type Querier interface {
 	TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, error)
 	QueryWebText(ctx context.Context, show string) (*record.Record, error)
 	QueryFused(ctx context.Context, show string) (*record.Record, error)
+	QueryShow(ctx context.Context, show string) (web, fused *record.Record, err error)
 	ShowInFused(ctx context.Context, show string) (bool, error)
 	CheapestShows(ctx context.Context, k int) ([]fuse.PricedShow, error)
 	FindEntities(ctx context.Context, query string) ([]*store.Doc, error)
@@ -359,12 +360,9 @@ func (s *Server) v1Show(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, dterr.New(dterr.CodeInvalidArgument, "missing name parameter"))
 		return
 	}
-	web, err := s.q.QueryWebText(r.Context(), name)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	fused, err := s.q.QueryFused(r.Context(), name)
+	// One combined query: the web-text view is computed once and shared by
+	// both halves of the response instead of re-running the text search.
+	web, fused, err := s.q.QueryShow(r.Context(), name)
 	if err != nil {
 		writeErr(w, err)
 		return

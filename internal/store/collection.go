@@ -25,11 +25,20 @@ type Collection struct {
 	ns         string
 	extentSize int64
 
-	docs    map[int64]*Doc
-	order   []int64 // insertion order for full scans
+	docs map[int64]*Doc
+	// order holds ids in insertion order for full scans. Deletes tombstone
+	// the slot (id 0) instead of splicing, so Delete is O(1); pos maps each
+	// live id to its slot and dead counts tombstones until compaction.
+	order   []int64
+	pos     map[int64]int
+	dead    int
 	nextID  int64
 	extents []extent
 	indexes map[string]*Index
+	// text holds inverted text indexes by path. They accelerate OpContains
+	// filters but are not part of the secondary-index set reported in Stats
+	// (nindexes keeps the paper's Table I/II shape).
+	text map[string]*TextIndex
 }
 
 func newCollection(ns string, extentSize int64) *Collection {
@@ -40,8 +49,39 @@ func newCollection(ns string, extentSize int64) *Collection {
 		ns:         ns,
 		extentSize: extentSize,
 		docs:       make(map[int64]*Doc),
+		pos:        make(map[int64]int),
 		indexes:    make(map[string]*Index),
 		nextID:     1,
+	}
+}
+
+// appendOrderLocked records id at the end of the insertion order. Must hold
+// c.mu.
+func (c *Collection) appendOrderLocked(id int64) {
+	c.pos[id] = len(c.order)
+	c.order = append(c.order, id)
+}
+
+// removeOrderLocked tombstones id's insertion-order slot in O(1), compacting
+// the order slice once tombstones outnumber live entries. Must hold c.mu.
+func (c *Collection) removeOrderLocked(id int64) {
+	i, ok := c.pos[id]
+	if !ok {
+		return
+	}
+	c.order[i] = 0
+	delete(c.pos, id)
+	c.dead++
+	if c.dead > 64 && c.dead > len(c.order)/2 {
+		live := c.order[:0]
+		for _, got := range c.order {
+			if got != 0 {
+				c.pos[got] = len(live)
+				live = append(live, got)
+			}
+		}
+		c.order = live
+		c.dead = 0
 	}
 }
 
@@ -62,10 +102,13 @@ func (c *Collection) Insert(doc *Doc) int64 {
 	id := c.nextID
 	c.nextID++
 	c.docs[id] = doc
-	c.order = append(c.order, id)
+	c.appendOrderLocked(id)
 	c.allocate(doc.SizeBytes())
 	for _, ix := range c.indexes {
 		ix.insert(id, doc)
+	}
+	for _, tx := range c.text {
+		tx.insert(id, doc)
 	}
 	return id
 }
@@ -116,6 +159,9 @@ func (c *Collection) Update(id int64, doc *Doc) bool {
 	for _, ix := range c.indexes {
 		ix.remove(id, old)
 	}
+	for _, tx := range c.text {
+		tx.remove(id, old)
+	}
 	c.docs[id] = doc
 	delta := doc.SizeBytes() - old.SizeBytes()
 	if delta > 0 {
@@ -123,6 +169,9 @@ func (c *Collection) Update(id int64, doc *Doc) bool {
 	}
 	for _, ix := range c.indexes {
 		ix.insert(id, doc)
+	}
+	for _, tx := range c.text {
+		tx.insert(id, doc)
 	}
 	return true
 }
@@ -139,13 +188,11 @@ func (c *Collection) Delete(id int64) bool {
 	for _, ix := range c.indexes {
 		ix.remove(id, doc)
 	}
-	delete(c.docs, id)
-	for i, got := range c.order {
-		if got == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
+	for _, tx := range c.text {
+		tx.remove(id, doc)
 	}
+	delete(c.docs, id)
+	c.removeOrderLocked(id)
 	return true
 }
 
@@ -159,10 +206,47 @@ func (c *Collection) EnsureIndex(name, path string, kind IndexKind) *Index {
 	}
 	ix := newIndex(name, path, kind)
 	for _, id := range c.order {
-		ix.insert(id, c.docs[id])
+		if id != 0 {
+			ix.insert(id, c.docs[id])
+		}
 	}
 	c.indexes[name] = ix
 	return ix
+}
+
+// EnsureTextIndex creates (or returns) the inverted text index over path,
+// backfilling existing documents. The index accelerates case-insensitive
+// substring (OpContains) filters on that path; queries it cannot prove
+// equivalent to a scan fall back to scanning, so results never change.
+func (c *Collection) EnsureTextIndex(path string) *TextIndex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.text == nil {
+		c.text = make(map[string]*TextIndex)
+	}
+	if tx, ok := c.text[path]; ok {
+		return tx
+	}
+	tx := newTextIndex(path)
+	for _, id := range c.order {
+		if id != 0 {
+			tx.insert(id, c.docs[id])
+		}
+	}
+	c.text[path] = tx
+	return tx
+}
+
+// TextIndexes returns the collection's inverted text indexes sorted by path.
+func (c *Collection) TextIndexes() []*TextIndex {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*TextIndex, 0, len(c.text))
+	for _, tx := range c.text {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Indexes returns the collection's indexes sorted by name.
@@ -221,6 +305,9 @@ func (c *Collection) FindIDs(filter Filter) []int64 {
 	}
 	var ids []int64
 	for _, id := range c.order {
+		if id == 0 {
+			continue
+		}
 		if filter == nil || filter.Matches(c.docs[id]) {
 			ids = append(ids, id)
 		}
@@ -229,22 +316,33 @@ func (c *Collection) FindIDs(filter Filter) []int64 {
 }
 
 // tryIndexedLookup serves Eq / Prefix / In conditions (and And filters whose
-// first indexable condition narrows the candidate set) from an index.
+// first indexable condition narrows the candidate set) from an index, and
+// Contains conditions from an inverted text index when one covers the path.
 func (c *Collection) tryIndexedLookup(filter Filter) ([]int64, bool) {
 	switch f := filter.(type) {
 	case Cond:
-		ids, ok := c.condFromIndex(f)
+		ids, verified, ok := c.condFromIndex(f)
 		if !ok {
 			return nil, false
 		}
-		return ids, true
+		if verified {
+			return ids, true
+		}
+		// Candidate superset (text index): confirm each against the filter.
+		out := ids[:0]
+		for _, id := range ids {
+			if f.Matches(c.docs[id]) {
+				out = append(out, id)
+			}
+		}
+		return out, true
 	case And:
 		for _, child := range f {
 			cond, ok := child.(Cond)
 			if !ok {
 				continue
 			}
-			ids, ok := c.condFromIndex(cond)
+			ids, _, ok := c.condFromIndex(cond)
 			if !ok {
 				continue
 			}
@@ -260,32 +358,44 @@ func (c *Collection) tryIndexedLookup(filter Filter) ([]int64, bool) {
 	return nil, false
 }
 
-func (c *Collection) condFromIndex(cond Cond) ([]int64, bool) {
+// condFromIndex resolves cond from an index. verified reports whether the
+// returned ids match exactly (false for text-index candidate supersets,
+// which callers must confirm with Matches).
+func (c *Collection) condFromIndex(cond Cond) (ids []int64, verified, ok bool) {
 	switch cond.Op {
 	case OpEq:
 		ix := c.indexFor(cond.Path, false)
 		if ix == nil {
-			return nil, false
+			return nil, false, false
 		}
-		return ix.Lookup(cond.Value.Str()), true
+		return ix.Lookup(cond.Value.Str()), true, true
 	case OpPrefix:
 		ix := c.indexFor(cond.Path, true)
 		if ix == nil || ix.Kind != BTreeIndex {
-			return nil, false
+			return nil, false, false
 		}
-		return ix.LookupPrefix(cond.Value.Str()), true
+		return ix.LookupPrefix(cond.Value.Str()), true, true
 	case OpIn:
 		ix := c.indexFor(cond.Path, false)
 		if ix == nil {
-			return nil, false
+			return nil, false, false
 		}
-		var ids []int64
 		for _, v := range cond.Set {
 			ids = append(ids, ix.Lookup(v.Str())...)
 		}
-		return ids, true
+		return ids, true, true
+	case OpContains:
+		tx := c.text[cond.Path]
+		if tx == nil {
+			return nil, false, false
+		}
+		cands, ok := tx.Candidates(cond.Value.Str())
+		if !ok {
+			return nil, false, false
+		}
+		return cands, false, true
 	default:
-		return nil, false
+		return nil, false, false
 	}
 }
 
@@ -300,19 +410,36 @@ func (c *Collection) FindOne(filter Filter) *Doc {
 }
 
 // Scan calls fn for every document in insertion order until fn returns
-// false. The callback must not retain the document across mutations.
+// false. It snapshots the membership under one read lock and iterates
+// lock-free, so fn observes a consistent point-in-time view: mutations that
+// land during the scan are not visible to it, and fn may itself call back
+// into the collection. The callback must not retain the document across
+// mutations.
 func (c *Collection) Scan(fn func(id int64, d *Doc) bool) {
-	c.mu.RLock()
-	order := append([]int64(nil), c.order...)
-	c.mu.RUnlock()
-	for _, id := range order {
-		c.mu.RLock()
-		d, ok := c.docs[id]
-		c.mu.RUnlock()
-		if ok && !fn(id, d) {
+	ids, docs := c.snapshot()
+	for i, id := range ids {
+		if !fn(id, docs[i]) {
 			return
 		}
 	}
+}
+
+// snapshot returns the live (id, doc) pairs in insertion order under a
+// single read lock — the point-in-time view Scan and the sharded router's
+// parallel fan-out iterate without holding locks.
+func (c *Collection) snapshot() ([]int64, []*Doc) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]int64, 0, len(c.docs))
+	docs := make([]*Doc, 0, len(c.docs))
+	for _, id := range c.order {
+		if id == 0 {
+			continue
+		}
+		ids = append(ids, id)
+		docs = append(docs, c.docs[id])
+	}
+	return ids, docs
 }
 
 // CountWhere reports the number of documents matching filter.

@@ -39,11 +39,14 @@ func (c *Collection) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	var count [8]byte
-	binary.LittleEndian.PutUint64(count[:], uint64(len(c.order)))
+	binary.LittleEndian.PutUint64(count[:], uint64(len(c.docs)))
 	if _, err := bw.Write(count[:]); err != nil {
 		return err
 	}
 	for _, id := range c.order {
+		if id == 0 { // tombstoned slot
+			continue
+		}
 		var idb [8]byte
 		binary.LittleEndian.PutUint64(idb[:], uint64(id))
 		if _, err := bw.Write(idb[:]); err != nil {
@@ -93,7 +96,7 @@ func ReadSnapshot(r io.Reader, extentSize int64) (*Collection, error) {
 			return nil, fmt.Errorf("store: decoding doc %d: %w", i, err)
 		}
 		c.docs[id] = doc
-		c.order = append(c.order, id)
+		c.appendOrderLocked(id)
 		c.allocate(doc.SizeBytes())
 		if id >= c.nextID {
 			c.nextID = id + 1
@@ -225,20 +228,29 @@ func (c *Collection) applyReplay(id int64, doc *Doc) {
 		for _, ix := range c.indexes {
 			ix.remove(id, old)
 		}
+		for _, tx := range c.text {
+			tx.remove(id, old)
+		}
 		c.docs[id] = doc
 		for _, ix := range c.indexes {
 			ix.insert(id, doc)
 		}
+		for _, tx := range c.text {
+			tx.insert(id, doc)
+		}
 		return
 	}
 	c.docs[id] = doc
-	c.order = append(c.order, id)
+	c.appendOrderLocked(id)
 	c.allocate(doc.SizeBytes())
 	if id >= c.nextID {
 		c.nextID = id + 1
 	}
 	for _, ix := range c.indexes {
 		ix.insert(id, doc)
+	}
+	for _, tx := range c.text {
+		tx.insert(id, doc)
 	}
 }
 

@@ -232,6 +232,19 @@ func (c *Collection) ExplainFilter(f Filter) Explain {
 	defer c.mu.RUnlock()
 	switch ff := f.(type) {
 	case Cond:
+		if ff.Op == OpContains {
+			if tx := c.text[ff.Path]; tx != nil {
+				if tx.CanBound(ff.Value.Str()) {
+					return Explain{
+						AccessPath: "index",
+						IndexName:  tx.Name(),
+						IndexKind:  "text",
+						Reason:     fmt.Sprintf("inverted-text candidates on %s, verified by substring match", ff.Path),
+					}
+				}
+				return Explain{AccessPath: "scan", Reason: "substring has characters the text index cannot bound"}
+			}
+		}
 		if ix, reason := c.explainCond(ff); ix != nil {
 			return Explain{AccessPath: "index", IndexName: ix.Name, IndexKind: ix.Kind.String(), Reason: reason}
 		} else if reason != "" {
@@ -267,6 +280,8 @@ func (c *Collection) explainCond(cond Cond) (*Index, string) {
 			return ix, fmt.Sprintf("prefix scan on %s", cond.Path)
 		}
 		return nil, fmt.Sprintf("prefix scan needs a btree index on %s", cond.Path)
+	case OpContains:
+		return nil, fmt.Sprintf("substring match needs a text index on %s", cond.Path)
 	default:
 		return nil, "operator is not indexable"
 	}

@@ -2,18 +2,20 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
+	"runtime"
+	"sync"
 )
 
 // Sharded is a collection distributed over N shards by a hash of the shard
 // key path. Each shard is an independent Collection with its own extents and
 // indexes, as in the paper's distributed deployment; the router fans reads
-// out and merges stats.
+// out to all shards concurrently and merges results in shard order, so a
+// query pays for the slowest shard rather than the sum of all of them.
+// Sharded is safe for concurrent use.
 type Sharded struct {
-	ns       string
-	keyPath  string
-	shards   []*Collection
-	assigned []int64 // running doc count per shard, for reporting
+	ns      string
+	keyPath string
+	shards  []*Collection
 }
 
 // NewSharded creates a sharded namespace with n shards, hashing documents by
@@ -22,7 +24,7 @@ func NewSharded(ns, keyPath string, n int, extentSize int64) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{ns: ns, keyPath: keyPath, assigned: make([]int64, n)}
+	s := &Sharded{ns: ns, keyPath: keyPath}
 	for i := 0; i < n; i++ {
 		s.shards = append(s.shards, newCollection(ns, extentSize))
 	}
@@ -40,6 +42,7 @@ func (s *Sharded) Shard(i int) *Collection { return s.shards[i] }
 
 // ReplaceShard swaps in a new backing collection for shard i — the recovery
 // path after loading a snapshot. The collection's namespace must match.
+// Not safe to run concurrently with routed operations.
 func (s *Sharded) ReplaceShard(i int, c *Collection) error {
 	if i < 0 || i >= len(s.shards) {
 		return fmt.Errorf("store: shard %d out of range [0,%d)", i, len(s.shards))
@@ -48,8 +51,25 @@ func (s *Sharded) ReplaceShard(i int, c *Collection) error {
 		return fmt.Errorf("store: shard namespace %q does not match %q", c.NS(), s.ns)
 	}
 	s.shards[i] = c
-	s.assigned[i] = c.Count()
 	return nil
+}
+
+// FNV-1a constants (hash/fnv), inlined so routing a document allocates
+// nothing on the hot ingest path.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// fnv32a is the allocation-free FNV-1a hash of s, identical to writing s
+// into a hash/fnv.New32a.
+func fnv32a(s string) uint32 {
+	h := fnvOffset32
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
 }
 
 // shardFor routes a document by hashing its shard key.
@@ -58,17 +78,17 @@ func (s *Sharded) shardFor(d *Doc) int {
 	if key == "" {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32()) % len(s.shards)
+	return int(fnv32a(key)) % len(s.shards)
 }
 
-// Insert routes doc to its shard and returns (shard, local id).
+// Insert routes doc to its shard and returns (shard, local id). Safe for
+// concurrent use: the shard's own lock serializes the insert. (An earlier
+// revision also bumped an unsynchronized per-shard assignment counter here
+// — the router now reports balance from the shards' own lock-protected
+// counts, so routed inserts touch no router state at all.)
 func (s *Sharded) Insert(d *Doc) (shard int, id int64) {
 	shard = s.shardFor(d)
-	id = s.shards[shard].Insert(d)
-	s.assigned[shard]++
-	return shard, id
+	return shard, s.shards[shard].Insert(d)
 }
 
 // EnsureIndex creates the index on every shard.
@@ -78,56 +98,124 @@ func (s *Sharded) EnsureIndex(name, path string, kind IndexKind) {
 	}
 }
 
-// Find fans the filter out to every shard and concatenates results in shard
-// order.
-func (s *Sharded) Find(filter Filter) []*Doc {
-	var out []*Doc
+// EnsureTextIndex creates the inverted text index over path on every shard.
+func (s *Sharded) EnsureTextIndex(path string) {
 	for _, sh := range s.shards {
-		out = append(out, sh.Find(filter)...)
+		sh.EnsureTextIndex(path)
+	}
+}
+
+// fanOut runs fn once per shard, concurrently when parallelism can
+// actually overlap the work (more than one shard and more than one
+// schedulable CPU), and returns after every call completed.
+func (s *Sharded) fanOut(fn func(i int, sh *Collection)) {
+	if len(s.shards) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, sh := range s.shards {
+			fn(i, sh)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.shards))
+	for i, sh := range s.shards {
+		go func(i int, sh *Collection) {
+			defer wg.Done()
+			fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// ForEachShard visits every shard concurrently. fn runs in one goroutine
+// per shard and must be safe for concurrent use across shards; per-shard
+// aggregation with a merge afterwards is the intended pattern.
+func (s *Sharded) ForEachShard(fn func(shard int, c *Collection)) {
+	s.fanOut(fn)
+}
+
+// Find fans the filter out to every shard concurrently and concatenates
+// results in shard order.
+func (s *Sharded) Find(filter Filter) []*Doc {
+	parts := make([][]*Doc, len(s.shards))
+	s.fanOut(func(i int, sh *Collection) {
+		parts[i] = sh.Find(filter)
+	})
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]*Doc, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }
 
 // Count reports the total document count across shards.
 func (s *Sharded) Count() int64 {
+	counts := make([]int64, len(s.shards))
+	s.fanOut(func(i int, sh *Collection) {
+		counts[i] = sh.Count()
+	})
 	var n int64
-	for _, sh := range s.shards {
-		n += sh.Count()
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
 
-// CountWhere reports the matching document count across shards.
+// CountWhere reports the matching document count across shards, counting
+// every shard concurrently.
 func (s *Sharded) CountWhere(filter Filter) int64 {
+	counts := make([]int64, len(s.shards))
+	s.fanOut(func(i int, sh *Collection) {
+		counts[i] = sh.CountWhere(filter)
+	})
 	var n int64
-	for _, sh := range s.shards {
-		n += sh.CountWhere(filter)
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
 
-// Scan visits every document on every shard until fn returns false.
+// Scan visits every document in shard order until fn returns false. The
+// per-shard membership snapshots are taken concurrently, then fn is called
+// serially — the callback needs no synchronization of its own and observes
+// a consistent point-in-time view of each shard.
 func (s *Sharded) Scan(fn func(shard int, id int64, d *Doc) bool) {
-	for i, sh := range s.shards {
-		stopped := false
-		sh.Scan(func(id int64, d *Doc) bool {
-			if !fn(i, id, d) {
-				stopped = true
-				return false
+	type snap struct {
+		ids  []int64
+		docs []*Doc
+	}
+	snaps := make([]snap, len(s.shards))
+	s.fanOut(func(i int, sh *Collection) {
+		snaps[i].ids, snaps[i].docs = sh.snapshot()
+	})
+	for i := range snaps {
+		for j, id := range snaps[i].ids {
+			if !fn(i, id, snaps[i].docs[j]) {
+				return
 			}
-			return true
-		})
-		if stopped {
-			return
 		}
 	}
 }
 
-// Distinct merges per-shard distinct-value counts.
+// Distinct merges per-shard distinct-value counts, scanning shards
+// concurrently.
 func (s *Sharded) Distinct(path string) map[string]int64 {
+	parts := make([]map[string]int64, len(s.shards))
+	s.fanOut(func(i int, sh *Collection) {
+		parts[i] = sh.Distinct(path)
+	})
+	if len(parts) == 1 {
+		return parts[0]
+	}
 	out := make(map[string]int64)
-	for _, sh := range s.shards {
-		for k, v := range sh.Distinct(path) {
+	for _, part := range parts {
+		for k, v := range part {
 			out[k] += v
 		}
 	}
@@ -135,20 +223,22 @@ func (s *Sharded) Distinct(path string) map[string]int64 {
 }
 
 // Stats merges shard stats into namespace-wide stats, the view the paper's
-// Tables I and II quote from the router.
+// Tables I and II quote from the router. Shards are measured concurrently.
 func (s *Sharded) Stats() Stats {
 	parts := make([]Stats, len(s.shards))
-	for i, sh := range s.shards {
+	s.fanOut(func(i int, sh *Collection) {
 		parts[i] = sh.Stats()
-	}
+	})
 	return Merge(s.ns, parts)
 }
 
 // Balance reports the per-shard document counts, for skew diagnostics.
+// Counts come from the shards' own lock-protected state, so the report is
+// exact even when shards were mutated directly (deletes, journal replay).
 func (s *Sharded) Balance() []int64 {
 	out := make([]int64, len(s.shards))
-	for i, sh := range s.shards {
+	s.fanOut(func(i int, sh *Collection) {
 		out[i] = sh.Count()
-	}
+	})
 	return out
 }

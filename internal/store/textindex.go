@@ -1,0 +1,183 @@
+package store
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/textutil"
+)
+
+// TextIndex is an inverted index over a text path: lowercased tokens map to
+// the ids of documents whose text contains them. It accelerates
+// case-insensitive substring (OpContains) filters the way the paper's
+// deployment precomputes inverted structures for serve-time fusion queries:
+// the index yields a candidate superset cheaply, and the caller verifies
+// each candidate with the real substring predicate, so indexed and scanned
+// query paths return identical results.
+//
+// Synchronization rides on the owning Collection's lock: mutations happen
+// under the write lock, Candidates under the read lock.
+type TextIndex struct {
+	Path string
+
+	postings map[string][]int64 // token -> ids, each id at most once per token
+	entries  int64
+	keyBytes int64
+}
+
+func newTextIndex(path string) *TextIndex {
+	return &TextIndex{Path: path, postings: make(map[string][]int64)}
+}
+
+// Name identifies the index in plans and diagnostics.
+func (tx *TextIndex) Name() string { return tx.Path + "_text" }
+
+// docTokens extracts the sorted unique lowercased tokens of the document's
+// indexed path (list paths index each element's tokens).
+func (tx *TextIndex) docTokens(d *Doc) []string {
+	v, ok := d.Path(tx.Path)
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	collect := func(s string) {
+		for _, t := range textutil.Tokenize(s) {
+			seen[strings.ToLower(t.Text)] = true
+		}
+	}
+	if v.IsList() {
+		for _, e := range v.List() {
+			if e.IsScalar() && !e.Scalar().IsNull() {
+				collect(e.Scalar().Str())
+			}
+		}
+	} else if v.IsScalar() && !v.Scalar().IsNull() {
+		collect(v.Scalar().Str())
+	}
+	toks := make([]string, 0, len(seen))
+	for t := range seen {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return toks
+}
+
+func (tx *TextIndex) insert(id int64, d *Doc) {
+	for _, tok := range tx.docTokens(d) {
+		tx.postings[tok] = append(tx.postings[tok], id)
+		tx.entries++
+		tx.keyBytes += int64(len(tok))
+	}
+}
+
+func (tx *TextIndex) remove(id int64, d *Doc) {
+	for _, tok := range tx.docTokens(d) {
+		ids := tx.postings[tok]
+		for i, got := range ids {
+			if got == id {
+				tx.postings[tok] = append(ids[:i], ids[i+1:]...)
+				tx.entries--
+				tx.keyBytes -= int64(len(tok))
+				break
+			}
+		}
+		if len(tx.postings[tok]) == 0 {
+			delete(tx.postings, tok)
+		}
+	}
+}
+
+// Candidates returns a superset of the ids of documents whose indexed text
+// contains substr case-insensitively, in id (insertion) order. ok is false
+// when the index cannot bound the query — substr is empty or carries
+// characters outside letters, digits, and spaces — and the caller must fall
+// back to a scan.
+//
+// Why the superset holds: every space-separated term of the query consists
+// solely of letters and digits, so any occurrence of it in a document lies
+// inside one maximal token run and survives the tokenizer's trailing-
+// punctuation trim. A matching document therefore carries, for each term,
+// some token containing that term as a substring. Interior terms of a
+// multi-term query are space-flanked in the occurrence, so they appear as
+// exact tokens and are served by a direct postings lookup; edge terms may
+// sit inside longer tokens and are served by a substring sweep over the
+// token dictionary (which is vocabulary-sized, not corpus-sized). The
+// per-term sets are intersected; the result still covers every match.
+func (tx *TextIndex) Candidates(substr string) ([]int64, bool) {
+	low := strings.ToLower(substr)
+	if !canBound(low) {
+		return nil, false
+	}
+	terms := strings.Fields(low)
+
+	var result map[int64]bool
+	for i, term := range terms {
+		interior := i > 0 && i < len(terms)-1
+		set := make(map[int64]bool)
+		if interior {
+			for _, id := range tx.postings[term] {
+				set[id] = true
+			}
+		} else {
+			for tok, ids := range tx.postings {
+				if strings.Contains(tok, term) {
+					for _, id := range ids {
+						set[id] = true
+					}
+				}
+			}
+		}
+		if result == nil {
+			result = set
+		} else {
+			for id := range result {
+				if !set[id] {
+					delete(result, id)
+				}
+			}
+		}
+		if len(result) == 0 {
+			return nil, true
+		}
+	}
+	ids := make([]int64, 0, len(result))
+	for id := range result {
+		ids = append(ids, id)
+	}
+	// Ids are assigned in insertion order, so ascending id order matches the
+	// scan path's result order exactly.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, true
+}
+
+// CanBound reports whether the index can serve substr at all — the purely
+// lexical half of Candidates, cheap enough for query planning.
+func (tx *TextIndex) CanBound(substr string) bool {
+	return canBound(strings.ToLower(substr))
+}
+
+// canBound checks the lowercased query is non-blank and made only of
+// letters, digits, and spaces — the precondition of the superset argument.
+func canBound(low string) bool {
+	if strings.TrimSpace(low) == "" {
+		return false
+	}
+	for _, r := range low {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && !unicode.IsSpace(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokens reports the dictionary size (distinct tokens).
+func (tx *TextIndex) Tokens() int { return len(tx.postings) }
+
+// Entries reports the number of (token, id) pairs stored.
+func (tx *TextIndex) Entries() int64 { return tx.entries }
+
+// SizeBytes estimates the index footprint, mirroring Index.SizeBytes.
+func (tx *TextIndex) SizeBytes() int64 {
+	return tx.keyBytes + tx.entries*24
+}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func textDoc(key, text string) *Doc {
+	return NewDoc().Set("key", Str(key)).Set("text", Str(text))
+}
+
+var textCorpus = []string{
+	"Matilda grossed $2m this week at the Shubert Theatre.",
+	"The award-winning show Matilda is discussed everywhere.",
+	"Matildas everywhere agree: a fine show.",           // plural swallows the name
+	"MATILDA IN CAPITALS, reviewed favorably.",          // case folding
+	"breathe lion king energy tonight",                  // "the lion king" hides across a token edge
+	"The Lion King opened to a record crowd.",           // the phrase proper
+	"the lion, king of beasts, is unrelated",            // punctuation breaks the phrase
+	"O'Brien's favorite: Matilda's second act.",         // intra-word punctuation
+	"a needle in a haystack",                            // exact token
+	"needles and pins",                                  // query term inside a longer token
+	"Chicago grossed $1m; the Chicago company expands.", // repeated token, one doc
+	"no relevant terms here at all",
+}
+
+// buildTextCollections returns two collections with identical contents, one
+// carrying the inverted text index — the subjects of the equivalence tests.
+func buildTextCollections() (indexed, plain *Collection) {
+	indexed = Open("dt", 0).Collection("withidx")
+	plain = Open("dt", 0).Collection("scanonly")
+	for i, text := range textCorpus {
+		d := textDoc(fmt.Sprintf("k%02d", i), text)
+		indexed.Insert(d)
+		plain.Insert(d)
+	}
+	indexed.EnsureTextIndex("text")
+	return indexed, plain
+}
+
+var textQueries = []string{
+	"Matilda",       // single term, several forms
+	"matilda",       // lower-case query
+	"MATILDA",       // upper-case query
+	"needle",        // matches both the token and "needles"
+	"the lion king", // multiword with edge-term traps
+	"lion king",     // two terms, both edge
+	"grossed",       // mid-corpus token
+	"Chicago",       // repeated within one doc: must not duplicate results
+	"king of beasts",
+	"absent-from-corpus",
+	"o'brien",   // punctuation: index must decline, scan must serve
+	"$2m",       // punctuation
+	"  matilda", // leading spaces
+	"act.",      // trailing punctuation
+	"",          // empty: matches everything on the scan path
+}
+
+// TestTextIndexScanEquivalence is the index-vs-scan equivalence gate: for
+// every query, the indexed collection must return exactly the documents,
+// in exactly the order, of the scan-only collection.
+func TestTextIndexScanEquivalence(t *testing.T) {
+	indexed, plain := buildTextCollections()
+	for _, q := range textQueries {
+		got := indexed.Find(Contains("text", q))
+		want := plain.Find(Contains("text", q))
+		if len(got) != len(want) {
+			t.Errorf("query %q: indexed %d docs, scan %d", q, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i].PathString("key") != want[i].PathString("key") {
+				t.Errorf("query %q: doc %d = %q, scan has %q",
+					q, i, got[i].PathString("key"), want[i].PathString("key"))
+			}
+		}
+	}
+}
+
+// TestTextIndexMaintenance checks Update and Delete keep postings in step
+// with the documents.
+func TestTextIndexMaintenance(t *testing.T) {
+	c := Open("dt", 0).Collection("maint")
+	c.EnsureTextIndex("text")
+	id := c.Insert(textDoc("a", "original needle text"))
+	if n := c.CountWhere(Contains("text", "needle")); n != 1 {
+		t.Fatalf("after insert: %d matches", n)
+	}
+	c.Update(id, textDoc("a", "replacement haystack text"))
+	if n := c.CountWhere(Contains("text", "needle")); n != 0 {
+		t.Errorf("after update: stale match count %d", n)
+	}
+	if n := c.CountWhere(Contains("text", "haystack")); n != 1 {
+		t.Errorf("after update: %d haystack matches", n)
+	}
+	c.Delete(id)
+	if n := c.CountWhere(Contains("text", "haystack")); n != 0 {
+		t.Errorf("after delete: %d matches", n)
+	}
+	tx := c.TextIndexes()[0]
+	if tx.Entries() != 0 || tx.Tokens() != 0 {
+		t.Errorf("postings not empty after delete: %d entries, %d tokens", tx.Entries(), tx.Tokens())
+	}
+}
+
+// TestTextIndexExplain verifies the planner reports the text index for
+// clean substring queries and a scan for queries it cannot bound.
+func TestTextIndexExplain(t *testing.T) {
+	indexed, plain := buildTextCollections()
+	if ex := indexed.ExplainFilter(Contains("text", "matilda")); ex.AccessPath != "index" || ex.IndexKind != "text" {
+		t.Errorf("clean query plan = %+v", ex)
+	}
+	if ex := indexed.ExplainFilter(Contains("text", "o'brien")); ex.AccessPath != "scan" {
+		t.Errorf("punctuated query plan = %+v", ex)
+	}
+	if ex := plain.ExplainFilter(Contains("text", "matilda")); ex.AccessPath != "scan" {
+		t.Errorf("unindexed plan = %+v", ex)
+	}
+}
+
+// TestTextIndexSharded checks the router-level EnsureTextIndex serves the
+// same results as scanning across shards.
+func TestTextIndexSharded(t *testing.T) {
+	withIdx := NewSharded("dt.txt", "key", 4, 0)
+	scanOnly := NewSharded("dt.txt", "key", 4, 0)
+	for i, text := range textCorpus {
+		d := textDoc(fmt.Sprintf("k%02d", i), text)
+		withIdx.Insert(d)
+		scanOnly.Insert(d)
+	}
+	withIdx.EnsureTextIndex("text")
+	for _, q := range textQueries {
+		got := withIdx.Find(Contains("text", q))
+		want := scanOnly.Find(Contains("text", q))
+		if len(got) != len(want) {
+			t.Errorf("query %q: indexed %d docs, scan %d", q, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i].PathString("key") != want[i].PathString("key") {
+				t.Errorf("query %q: doc %d mismatch", q, i)
+			}
+		}
+	}
+}
