@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/dterr"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/fuse"
@@ -83,10 +84,12 @@ var ClassifierTypes = []EntityType{extract.Person, extract.Company, extract.Movi
 
 // options collects the functional-option state for Open.
 type options struct {
-	cfg     core.Config
-	liveDir string
-	liveCfg live.Config
-	skipRun bool
+	cfg         core.Config
+	liveDir     string
+	liveCfg     live.Config
+	skipRun     bool
+	clusterPath string
+	clusterCfg  *cluster.Config
 }
 
 // Option configures Open.
@@ -147,6 +150,21 @@ func WithLiveWorkers(n int) Option { return func(o *options) { o.liveCfg.Workers
 // default off: flushed to the OS, surviving process kill).
 func WithLiveFsync() Option { return func(o *options) { o.liveCfg.Fsync = true } }
 
+// WithCluster runs the pipeline against a distributed shard cluster
+// described by the cluster.json file at path: both text namespaces are
+// routed to remote dtnode processes instead of in-process collections.
+// The batch run streams its inserts over the wire, so Open against a
+// cluster expects freshly started (empty) nodes; store snapshots
+// (SaveStores, live checkpoints) are unavailable in this mode and the
+// live WAL remains the recovery source.
+func WithCluster(path string) Option { return func(o *options) { o.clusterPath = path } }
+
+// WithClusterConfig is WithCluster for an already-parsed configuration —
+// the programmatic entry point used by tests and embedding processes.
+func WithClusterConfig(cfg *cluster.Config) Option {
+	return func(o *options) { o.clusterCfg = cfg }
+}
+
 // withoutRun skips the batch run inside Open; the deprecated New shim uses
 // it so legacy callers keep the explicit Run step.
 func withoutRun() Option { return func(o *options) { o.skipRun = true } }
@@ -158,6 +176,7 @@ func withoutRun() Option { return func(o *options) { o.skipRun = true } }
 type Tamer struct {
 	core *core.Tamer
 	ing  *live.Ingester
+	cl   *cluster.Cluster // non-nil in cluster mode; closed by Close
 }
 
 // Open builds the pipeline, executes the batch run under ctx, and — when
@@ -169,28 +188,57 @@ func Open(ctx context.Context, opts ...Option) (*Tamer, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	t := core.New(o.cfg)
-	switch {
-	case o.skipRun:
-		// Legacy New path: the caller drives Run itself.
-	case o.liveDir != "" && live.HasCheckpoint(o.liveDir):
-		// A checkpoint will replace the stores and fused view; only the
-		// schema/registry side of the batch run is still needed.
-		if err := t.ImportFTables(ctx); err != nil {
+	ccfg := o.clusterCfg
+	if ccfg == nil && o.clusterPath != "" {
+		loaded, err := cluster.LoadConfig(o.clusterPath)
+		if err != nil {
 			return nil, err
 		}
-	default:
-		if err := t.Run(ctx); err != nil {
+		ccfg = loaded
+	}
+	var cl *cluster.Cluster
+	if ccfg != nil {
+		// The cluster's shard count is authoritative: routing must agree
+		// with the node layout, whatever WithShards said.
+		o.cfg.Shards = ccfg.Shards
+		var err error
+		if cl, err = cluster.Connect(ccfg, 0); err != nil {
 			return nil, err
 		}
 	}
-	tm := &Tamer{core: t}
+	t := core.New(o.cfg)
+	if cl != nil {
+		t.SetStores(cl.Instances, cl.Entities)
+	}
+	fail := func(err error) (*Tamer, error) {
+		if cl != nil {
+			cl.Close()
+		}
+		return nil, err
+	}
+	switch {
+	case o.skipRun:
+		// Legacy New path: the caller drives Run itself.
+	case o.liveDir != "" && cl == nil && live.HasCheckpoint(o.liveDir):
+		// A checkpoint will replace the stores and fused view; only the
+		// schema/registry side of the batch run is still needed. Cluster
+		// mode never takes this path: remote shards cannot be restored
+		// from a local checkpoint, so the batch run repopulates them.
+		if err := t.ImportFTables(ctx); err != nil {
+			return fail(err)
+		}
+	default:
+		if err := t.Run(ctx); err != nil {
+			return fail(err)
+		}
+	}
+	tm := &Tamer{core: t, cl: cl}
 	if o.liveDir != "" && !o.skipRun {
 		cfg := o.liveCfg
 		cfg.Dir = o.liveDir
 		ing, err := live.Open(ctx, t, cfg)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		tm.ing = ing
 	}
@@ -226,12 +274,19 @@ func (t *Tamer) SaveStores(dir string) error { return t.core.SaveStores(dir) }
 func (t *Tamer) LoadStores(dir string) error { return t.core.LoadStores(dir) }
 
 // Close stops the live ingester (draining and checkpointing) when one is
-// open. It is safe to call on a batch-only pipeline.
+// open and disconnects from the shard cluster in cluster mode. It is safe
+// to call on a batch-only pipeline.
 func (t *Tamer) Close() error {
-	if t.ing == nil {
-		return nil
+	var err error
+	if t.ing != nil {
+		err = t.ing.Close()
 	}
-	return t.ing.Close()
+	if t.cl != nil {
+		if cerr := t.cl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Live reports whether streaming ingestion is enabled.
@@ -302,8 +357,13 @@ func (t *Tamer) ExplainFind(query string) (Explain, error) {
 	if err != nil {
 		return Explain{}, err
 	}
-	// All shards share the index layout; explain against shard 0.
-	return t.core.Entities.Shard(0).ExplainFilter(filter), nil
+	// All shards share the index layout; explain against shard 0. Remote
+	// shards expose no planner internals, so cluster mode cannot explain.
+	coll := t.core.Entities.Shard(0)
+	if coll == nil {
+		return Explain{}, dterr.New(dterr.CodeUnavailable, "datatamer: explain unavailable in cluster mode")
+	}
+	return coll.ExplainFilter(filter), nil
 }
 
 // FusionCoverage reports per-attribute fill rates of the fused table.

@@ -1,0 +1,238 @@
+// Cluster-mode integration tests: real dtnode processes on ephemeral
+// ports, a coordinator connected via cluster.json, and the /v1 surface
+// compared byte-for-byte against a single-process pipeline. Named
+// TestCluster* so CI can select them with -run TestCluster.
+package datatamer
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildDTNode compiles cmd/dtnode once into dir and returns the binary path.
+func buildDTNode(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "dtnode")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dtnode")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/dtnode: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startProc launches a dtnode and registers cleanup that kills and reaps it.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", strings.Join(args, " "), err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// waitAddr polls a -port-file until the node has written its bound address.
+func waitAddr(t *testing.T, portFile string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("node never wrote %s", portFile)
+	return ""
+}
+
+func writeClusterJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func httpGet(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func httpPost(t *testing.T, h http.Handler, path, body string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+type nodeJSON struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Follower string `json:"follower,omitempty"`
+	Shards   []int  `json:"shards"`
+}
+
+type configJSON struct {
+	Shards int        `json:"shards"`
+	Nodes  []nodeJSON `json:"nodes"`
+}
+
+// TestClusterTwoNodeEndToEnd is the full-stack acceptance test: two dtnode
+// processes plus one read replica on ephemeral TCP ports, the batch
+// pipeline run through the coordinator, every /v1 read compared
+// byte-for-byte against a single-process pipeline with the same seed, a
+// live ingest round-trip, and degraded-mode behaviour as the processes
+// are killed one by one.
+func TestClusterTwoNodeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	bin := buildDTNode(t, dir)
+	ctx := context.Background()
+
+	// Bootstrap membership: addresses are ":0" placeholders — each node
+	// binds an ephemeral port and reports it through -port-file, and the
+	// real cluster.json is generated afterwards.
+	boot := filepath.Join(dir, "boot.json")
+	writeClusterJSON(t, boot, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: "127.0.0.1:0", Shards: []int{0}},
+			{Name: "node-b", Addr: "127.0.0.1:0", Shards: []int{1}},
+		},
+	})
+	aPort := filepath.Join(dir, "a.port")
+	bPort := filepath.Join(dir, "b.port")
+	fPort := filepath.Join(dir, "f.port")
+	aCmd := startProc(t, bin, "-config", boot, "-name", "node-a", "-port-file", aPort)
+	startProc(t, bin, "-config", boot, "-name", "node-b", "-port-file", bPort)
+	addrA, addrB := waitAddr(t, aPort), waitAddr(t, bPort)
+
+	// The replica assumes node-a's identity (same shard set) and pulls
+	// its replication feed.
+	folCmd := startProc(t, bin, "-config", boot, "-name", "node-a",
+		"-follow", "-primary", addrA, "-addr", "127.0.0.1:0",
+		"-port-file", fPort, "-pull-interval", "5ms")
+	addrF := waitAddr(t, fPort)
+
+	final := filepath.Join(dir, "cluster.json")
+	writeClusterJSON(t, final, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: addrA, Follower: addrF, Shards: []int{0}},
+			{Name: "node-b", Addr: addrB, Shards: []int{1}},
+		},
+	})
+
+	// Same pipeline twice: locally, and with all shard traffic over TCP.
+	pipeOpts := []Option{WithFragments(200), WithSources(4), WithSeed(3)}
+	local, err := Open(ctx, append([]Option{WithShards(2)}, pipeOpts...)...)
+	if err != nil {
+		t.Fatalf("local open: %v", err)
+	}
+	clustered, err := Open(ctx, append([]Option{
+		WithCluster(final),
+		WithLive(filepath.Join(dir, "wal")),
+	}, pipeOpts...)...)
+	if err != nil {
+		t.Fatalf("cluster open: %v", err)
+	}
+	defer clustered.Close()
+
+	// A name guaranteed to exist at this scale, for the /v1/show probe.
+	top, err := local.TopDiscussed(ctx, 1)
+	if err != nil || len(top) == 0 {
+		t.Fatalf("top-discussed: %v (%d rows)", err, len(top))
+	}
+	showPath := "/v1/show?name=" + url.QueryEscape(top[0].Name)
+
+	lh, ch := local.Handler(), clustered.Handler()
+	paths := []string{
+		"/v1/stats",
+		"/v1/types",
+		"/v1/types?limit=3&offset=1",
+		"/v1/top?limit=5",
+		"/v1/cheapest?limit=5&offset=2",
+		"/v1/find?q=type%20%3D%20Movie&limit=3",
+		showPath,
+	}
+	for _, path := range paths {
+		lc, lb := httpGet(t, lh, path)
+		cc, cb := httpGet(t, ch, path)
+		if lc != cc {
+			t.Errorf("%s: status %d (local) != %d (cluster)", path, lc, cc)
+			continue
+		}
+		if lb != cb {
+			t.Errorf("%s: body differs\nlocal:   %s\ncluster: %s", path, lb, cb)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Live ingest end to end: a streamed record lands on a shard node over
+	// the wire and is immediately readable back through the coordinator.
+	if code, body := httpPost(t, ch, "/v1/ingest/records",
+		`{"source":"api_feed","records":[{"SHOW_NAME":"Cluster Skyline","THEATER":"Majestic","CHEAPEST_PRICE":58}]}`); code != http.StatusAccepted {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+	if code, body := httpPost(t, ch, "/v1/flush", ""); code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", code, body)
+	}
+	if code, body := httpGet(t, ch, "/v1/show?name=Cluster+Skyline"); code != http.StatusOK ||
+		!strings.Contains(body, "Majestic") {
+		t.Fatalf("show after ingest = %d: %s", code, body)
+	}
+
+	// Kill the replica mid-flight: reads must degrade gracefully to the
+	// primary, not fail.
+	folCmd.Process.Kill()
+	folCmd.Wait()
+	for _, path := range paths {
+		if code, body := httpGet(t, ch, path); code != http.StatusOK && code != http.StatusNotFound {
+			t.Fatalf("%s after replica death = %d: %s", path, code, body)
+		}
+	}
+
+	// Kill a primary: shard 0 is now unreachable and reads that touch it
+	// must surface the busy taxonomy (HTTP 429), not hang or panic.
+	aCmd.Process.Kill()
+	aCmd.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := httpGet(t, ch, "/v1/stats")
+		if code == http.StatusTooManyRequests && strings.Contains(body, `"busy"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/stats after primary death = %d (want 429 busy): %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	datatamer "repro"
 	"repro/client"
+	"repro/internal/cluster"
 	"repro/internal/fuse"
 	"repro/internal/store"
 )
@@ -45,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	benchOut := flag.String("bench-out", "BENCH_results.json", "benchmark results file (\"\" disables)")
 	benchN := flag.Int("bench-n", 50, "iterations per benchmark op")
+	clusterMode := flag.Bool("cluster", false, "bench: also time the coordinator path (shard traffic over TCP to an in-process cluster node)")
 	flag.Parse()
 
 	switch *exp {
@@ -83,7 +85,11 @@ func main() {
 	run("fig3", printFig3)
 	run("classifier", printClassifier)
 	if (*exp == "all" || *exp == "bench") && *benchOut != "" {
-		if err := runBench(ctx, tm, *benchN, *benchOut); err != nil {
+		var clusterCfg *benchClusterConfig
+		if *clusterMode {
+			clusterCfg = &benchClusterConfig{fragments: *fragments, sources: *sources, seed: *seed}
+		}
+		if err := runBench(ctx, tm, *benchN, *benchOut, clusterCfg); err != nil {
 			log.Fatalf("bench: %v", err)
 		}
 	}
@@ -267,10 +273,18 @@ func buildScanStore(shards int) *store.Sharded {
 	return s
 }
 
+// benchClusterConfig carries the pipeline scale for the coordinator-path
+// pass (non-nil enables it).
+type benchClusterConfig struct {
+	fragments, sources int
+	seed               int64
+}
+
 // runBench times the hot query paths in-process and over HTTP (through
 // the /v1 client SDK against an in-process server) and writes the rows to
-// outPath.
-func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) error {
+// outPath. A non-nil clusterCfg adds a coordinator-path pass with all
+// shard traffic over TCP.
+func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string, clusterCfg *benchClusterConfig) error {
 	header("BENCH: QUERY-PATH THROUGHPUT (in-process + /v1 over HTTP)")
 
 	inproc := []struct {
@@ -411,9 +425,17 @@ func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) e
 		results = append(results, res)
 	}
 
-	fmt.Printf("%-20s %14s %14s\n", "OP", "NS/OP", "ITEMS/SEC")
+	if clusterCfg != nil {
+		rows, err := runClusterBench(ctx, n, clusterCfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+
+	fmt.Printf("%-26s %14s %14s\n", "OP", "NS/OP", "ITEMS/SEC")
 	for _, r := range results {
-		fmt.Printf("%-20s %14.0f %14.0f\n", r.Op, r.NsPerOp, r.ItemsPerSec)
+		fmt.Printf("%-26s %14.0f %14.0f\n", r.Op, r.NsPerOp, r.ItemsPerSec)
 	}
 
 	data, err := json.MarshalIndent(results, "", "  ")
@@ -425,4 +447,78 @@ func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string) e
 	}
 	fmt.Printf("\nwrote %d benchmark rows to %s\n", len(results), outPath)
 	return nil
+}
+
+// runClusterBench reruns the pipeline with every shard call routed through
+// the binary wire protocol to an in-process cluster node on a real TCP
+// socket, then times the same hot query paths as the core/ rows — the
+// cluster/core ratio is the coordinator overhead.
+func runClusterBench(ctx context.Context, n int, cc *benchClusterConfig) ([]benchResult, error) {
+	header("BENCH: COORDINATOR PATH (shard traffic over TCP)")
+	const shards = 4
+	cfg := &cluster.Config{
+		Shards: shards,
+		Nodes:  []cluster.NodeSpec{{Name: "bench", Addr: "127.0.0.1:0", Shards: []int{0, 1, 2, 3}}},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	cfg.Nodes[0].Addr = ln.Addr().String()
+	node := cluster.BuildNode(cfg, &cfg.Nodes[0], false)
+	go func() { _ = node.Serve(ln) }()
+
+	ctm, err := datatamer.Open(ctx,
+		datatamer.WithFragments(cc.fragments),
+		datatamer.WithSources(cc.sources),
+		datatamer.WithSeed(cc.seed),
+		datatamer.WithClusterConfig(cfg),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("cluster pipeline: %w", err)
+	}
+	defer ctm.Close()
+
+	benches := []struct {
+		op string
+		fn func() (int, error)
+	}{
+		{"cluster/top_discussed", func() (int, error) {
+			rows, err := ctm.TopDiscussed(ctx, 10)
+			return len(rows), err
+		}},
+		{"cluster/type_counts", func() (int, error) {
+			rows, err := ctm.TypeCounts(ctx)
+			return len(rows), err
+		}},
+		{"cluster/query_fused", func() (int, error) {
+			_, err := ctm.QueryFused(ctx, "Matilda")
+			return 1, err
+		}},
+		{"cluster/show_lookup", func() (int, error) {
+			ok, err := ctm.ShowInFused(ctx, "Matilda")
+			if err == nil && !ok {
+				return 0, fmt.Errorf("Matilda missing from fused view")
+			}
+			return 1, err
+		}},
+		{"cluster/cheapest", func() (int, error) {
+			rows, err := ctm.CheapestShows(ctx, 5)
+			return len(rows), err
+		}},
+		{"cluster/find", func() (int, error) {
+			docs, err := ctm.Find(ctx, "type = Movie")
+			return len(docs), err
+		}},
+	}
+	var results []benchResult
+	for _, b := range benches {
+		res, err := measure(b.op, n, b.fn)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
 }

@@ -1,0 +1,121 @@
+// Command dtnode hosts shards of a distributed datatamer cluster and
+// serves them over the binary wire protocol:
+//
+//	dtnode -config cluster.json -name node-a
+//
+// The node looks itself up by -name in the membership file, creates one
+// collection per hosted (namespace, shard) pair, and serves requests from
+// the coordinator (dtserver -cluster). -addr overrides the configured
+// listen address — ":0" picks an ephemeral port, written to -port-file so
+// test harnesses can generate the final cluster.json after the fact.
+//
+// With -follow the node runs as a read replica: it serves reads only and
+// continuously pulls the replication feed from -primary, so coordinators
+// can spread snapshot reads across replicas while a generation fence
+// preserves read-your-writes:
+//
+//	dtnode -config cluster.json -name node-a-replica -follow -primary 127.0.0.1:7101
+//
+// -healthz serves GET /healthz (JSON: node name, shard generations) on a
+// separate HTTP listener.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtnode: ")
+	configPath := flag.String("config", "cluster.json", "cluster membership file")
+	name := flag.String("name", "", "node name to assume from the membership file")
+	addr := flag.String("addr", "", "listen address override (\":0\" for an ephemeral port)")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening")
+	follow := flag.Bool("follow", false, "run as a read-only replica pulling from -primary")
+	primary := flag.String("primary", "", "replica mode: primary node address to pull from")
+	healthz := flag.String("healthz", "", "serve GET /healthz on this address")
+	pullEvery := flag.Duration("pull-interval", 50*time.Millisecond, "replica mode: replication pull interval")
+	flag.Parse()
+
+	cfg, err := cluster.LoadConfig(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec *cluster.NodeSpec
+	for i := range cfg.Nodes {
+		if cfg.Nodes[i].Name == *name {
+			spec = &cfg.Nodes[i]
+		}
+	}
+	if spec == nil {
+		names := make([]string, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			names[i] = n.Name
+		}
+		log.Fatalf("node %q not in %s (members: %s)", *name, *configPath, strings.Join(names, ", "))
+	}
+
+	node := cluster.BuildNode(cfg, spec, *follow)
+	var fol *cluster.Follower
+	if *follow {
+		if *primary == "" {
+			log.Fatal("-follow requires -primary")
+		}
+		fol = cluster.NewFollower(node, cluster.Dial(*primary, 0), *pullEvery)
+		fol.Start()
+		defer fol.Stop()
+	}
+
+	listenAddr := spec.Addr
+	if *addr != "" {
+		listenAddr = *addr
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *healthz != "" {
+		hs := &http.Server{Addr: *healthz, Handler: node.HealthHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("healthz: %v", err)
+			}
+		}()
+	}
+
+	role := "primary"
+	if *follow {
+		role = "replica of " + *primary
+	}
+	log.Printf("%s serving %d shards on %s (%s)", spec.Name, len(node.ShardKeys()), ln.Addr(), role)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- node.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-sigCtx.Done():
+		log.Printf("shutting down")
+		ln.Close()
+	}
+}

@@ -43,6 +43,7 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "live mode: apply queue depth (backpressure bound)")
 	flushEvery := flag.Duration("flush-interval", 200*time.Millisecond, "live mode: partial-batch apply interval")
 	fsync := flag.Bool("fsync", false, "live mode: fsync the WAL on every append")
+	clusterPath := flag.String("cluster", "", "cluster mode: cluster.json membership file; shards are served by dtnode processes")
 	flag.Parse()
 
 	// The pipeline's lifecycle context stays uncancelled: cancelling it
@@ -54,6 +55,9 @@ func main() {
 		datatamer.WithFragments(*fragments),
 		datatamer.WithSources(*sources),
 		datatamer.WithSeed(*seed),
+	}
+	if *clusterPath != "" {
+		opts = append(opts, datatamer.WithCluster(*clusterPath))
 	}
 	if *liveMode {
 		opts = append(opts,
@@ -75,6 +79,9 @@ func main() {
 	log.Printf("pipeline ready in %s: %d instances, %d entities, %d fused records",
 		time.Since(start).Round(time.Millisecond),
 		tm.InstanceStats().Count, tm.EntityStats().Count, len(tm.FusedRecords()))
+	if *clusterPath != "" {
+		log.Printf("cluster mode: shards served by dtnode processes from %s", *clusterPath)
+	}
 	if tm.Live() {
 		if ls, err := tm.LiveStats(); err == nil && (ls.ReplayApplied > 0 || ls.ReplaySkipped > 0) {
 			log.Printf("recovered WAL: %d events applied, %d already checkpointed (torn tail: %v)",

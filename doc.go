@@ -28,7 +28,12 @@
 //     crash by replaying the WAL over the last checkpoint;
 //   - a versioned HTTP surface (internal/serve, /v1 with a uniform
 //     response envelope and pagination) and a Go client SDK for it
-//     (repro/client).
+//     (repro/client);
+//   - cluster mode (internal/cluster, cmd/dtnode): shards served by
+//     separate node processes over a CRC-framed binary protocol, with
+//     placement-compatible routing, optional read replicas behind a
+//     read-your-writes generation fence, and dterr codes preserved
+//     across the wire. Enabled with WithCluster or WithClusterConfig.
 //
 // # Constructing a pipeline
 //

@@ -93,6 +93,44 @@ var (
 	ErrInternal         = &Error{Code: CodeInternal, Message: "internal error"}
 )
 
+// Codes lists every code in the taxonomy, in declaration order. Wire
+// protocols iterate it to prove their error round-tripping is total.
+func Codes() []Code {
+	return []Code{
+		CodeInvalidArgument,
+		CodeNotFound,
+		CodeBusy,
+		CodeClosed,
+		CodeUnavailable,
+		CodeCanceled,
+		CodeDeadlineExceeded,
+		CodeInternal,
+	}
+}
+
+// Valid reports whether code is a member of the taxonomy.
+func (c Code) Valid() bool {
+	switch c {
+	case CodeInvalidArgument, CodeNotFound, CodeBusy, CodeClosed,
+		CodeUnavailable, CodeCanceled, CodeDeadlineExceeded, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// FromCode reconstructs a typed error from a wire code and message, the
+// receive half of error round-tripping: a remote *Error serialized as
+// (CodeOf(err), err.Error()) decodes into an error for which errors.Is
+// against the local sentinel of the same code holds. A code outside the
+// taxonomy (e.g. from a newer peer) degrades to CodeInternal rather than
+// minting an unclassified error.
+func FromCode(code Code, msg string) *Error {
+	if !code.Valid() {
+		return &Error{Code: CodeInternal, Message: fmt.Sprintf("unknown error code %q: %s", code, msg)}
+	}
+	return &Error{Code: code, Message: msg}
+}
+
 // New builds a fresh coded error.
 func New(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }
 

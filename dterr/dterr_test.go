@@ -116,3 +116,67 @@ func TestErrorStrings(t *testing.T) {
 		t.Errorf("wrapf form = %q", s)
 	}
 }
+
+// TestFromCodeRoundTrip proves error round-tripping is total over the
+// taxonomy: for every code, serializing an error as (CodeOf, message) and
+// reconstructing with FromCode yields an error that compares equal — via
+// errors.Is — to the local sentinel of the same code, and to the original.
+func TestFromCodeRoundTrip(t *testing.T) {
+	sentinels := map[Code]*Error{
+		CodeInvalidArgument:  ErrInvalidArgument,
+		CodeNotFound:         ErrNotFound,
+		CodeBusy:             ErrBusy,
+		CodeClosed:           ErrClosed,
+		CodeUnavailable:      ErrUnavailable,
+		CodeCanceled:         ErrCanceled,
+		CodeDeadlineExceeded: ErrDeadlineExceeded,
+		CodeInternal:         ErrInternal,
+	}
+	codes := Codes()
+	if len(codes) != len(sentinels) {
+		t.Fatalf("Codes() has %d members, want %d", len(codes), len(sentinels))
+	}
+	for _, code := range codes {
+		sentinel, ok := sentinels[code]
+		if !ok {
+			t.Fatalf("Codes() lists %q with no sentinel", code)
+		}
+		if !code.Valid() {
+			t.Errorf("code %q not Valid()", code)
+		}
+		orig := Newf(code, "remote failure in %s", "shard 3")
+		wire := CodeOf(orig) // what the transport puts on the wire
+		back := FromCode(wire, orig.Error())
+		if !errors.Is(back, sentinel) {
+			t.Errorf("code %q: reconstructed error does not match sentinel", code)
+		}
+		if !errors.Is(back, orig) {
+			t.Errorf("code %q: reconstructed error does not match original", code)
+		}
+		if got := CodeOf(back); got != code {
+			t.Errorf("code %q: CodeOf(reconstructed) = %q", code, got)
+		}
+	}
+	// Wrapped causes round-trip by code too: a wrapped context deadline
+	// crossing the wire still matches ErrDeadlineExceeded locally.
+	wrapped := Wrap(CodeDeadlineExceeded, context.DeadlineExceeded)
+	back := FromCode(CodeOf(wrapped), wrapped.Error())
+	if !errors.Is(back, ErrDeadlineExceeded) {
+		t.Error("wrapped deadline error lost its code over the wire")
+	}
+}
+
+// TestFromCodeUnknown pins the degradation path: a code from outside the
+// taxonomy reconstructs as CodeInternal instead of minting a novel class.
+func TestFromCodeUnknown(t *testing.T) {
+	back := FromCode(Code("shiny_new_failure"), "v99 peer said so")
+	if back.Code != CodeInternal {
+		t.Errorf("unknown code reconstructed as %q, want internal", back.Code)
+	}
+	if !errors.Is(back, ErrInternal) {
+		t.Error("unknown-code reconstruction does not match ErrInternal")
+	}
+	if Code("shiny_new_failure").Valid() {
+		t.Error("unknown code reported Valid()")
+	}
+}

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dterr"
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// loopbackBackends builds RemoteShard backends for both namespaces over a
+// single in-process node (optionally mirrored by a follower), exercising
+// the full wire codec on every call.
+func loopbackBackends(shards int, primary, follower *Node) (inst, ent []store.ShardBackend) {
+	pt := Loopback{Node: primary}
+	var ft Transport
+	if follower != nil {
+		ft = Loopback{Node: follower}
+	}
+	for idx := 0; idx < shards; idx++ {
+		inst = append(inst, NewRemoteShard(NSInstances, idx, pt, ft))
+		ent = append(ent, NewRemoteShard(NSEntities, idx, pt, ft))
+	}
+	return inst, ent
+}
+
+// hostAll adds one collection per (namespace, shard) to node.
+func hostAll(node *Node, shards int) {
+	for idx := 0; idx < shards; idx++ {
+		node.AddShard(ShardKey(NSInstances, idx), store.NewCollection(NSInstances, 0))
+		node.AddShard(ShardKey(NSEntities, idx), store.NewCollection(NSEntities, 0))
+	}
+}
+
+// newClusterTamer runs the full batch pipeline with every store operation
+// routed through the wire protocol to an in-process node.
+func newClusterTamer(t *testing.T, cfg core.Config) *core.Tamer {
+	t.Helper()
+	node := NewNode("loop")
+	hostAll(node, cfg.Shards)
+	instB, entB := loopbackBackends(cfg.Shards, node, nil)
+	instances, err := store.NewShardedBackends(NSInstances, "source_url", instB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities, err := store.NewShardedBackends(NSEntities, "name", entB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := core.New(cfg)
+	tm.SetStores(instances, entities)
+	if err := tm.Run(context.Background()); err != nil {
+		t.Fatalf("cluster-mode run: %v", err)
+	}
+	return tm
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+// TestLoopbackEquivalence is the acceptance check for the coordinator
+// path: every /v1 read (including pagination windows) must be
+// byte-identical between a single-process pipeline and the same pipeline
+// with all shard traffic routed through the wire protocol.
+func TestLoopbackEquivalence(t *testing.T) {
+	cfg := core.Config{Fragments: 300, FTSources: 5, Shards: 4, Seed: 6}
+	local := core.New(cfg)
+	if err := local.Run(context.Background()); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	remote := newClusterTamer(t, cfg)
+
+	localSrv := serve.New(local)
+	remoteSrv := serve.New(remote)
+	paths := []string{
+		"/v1/stats",
+		"/v1/types",
+		"/v1/types?limit=3&offset=2",
+		"/v1/top",
+		"/v1/top?limit=4&offset=1",
+		"/v1/top?limit=0",
+		"/v1/cheapest",
+		"/v1/cheapest?limit=2&offset=3",
+		"/v1/find?q=type%20%3D%20Movie",
+		"/v1/find?q=type%20%3D%20Movie&limit=2&offset=1",
+		"/v1/find?q=award%20exists&limit=5",
+		"/v1/show?name=Matilda",
+		"/v1/show?name=Zz+Totally+Unknown+Zz",
+	}
+	for _, path := range paths {
+		lc, lb := get(t, localSrv, path)
+		rc, rb := get(t, remoteSrv, path)
+		if lc != rc {
+			t.Errorf("%s: status %d (local) != %d (cluster)", path, lc, rc)
+			continue
+		}
+		if lb != rb {
+			t.Errorf("%s: body differs\nlocal:   %s\ncluster: %s", path, lb, rb)
+		}
+	}
+}
+
+// TestLoopbackConcurrentReads hammers the coordinator path from many
+// goroutines while writes continue — the -race check over transport,
+// node dispatch, and replication bookkeeping.
+func TestLoopbackConcurrentReads(t *testing.T) {
+	const shards = 4
+	primary := NewNode("p")
+	hostAll(primary, shards)
+	follower := NewFollowerNode("f")
+	hostAll(follower, shards)
+	fol := NewFollower(follower, Loopback{Node: primary}, time.Millisecond)
+	fol.Start()
+	defer fol.Stop()
+
+	_, entB := loopbackBackends(shards, primary, follower)
+	entities, err := store.NewShardedBackends(NSEntities, "name", entB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := store.NewDoc().
+					Set("name", store.Str(fmt.Sprintf("ent-%d-%d", w, i))).
+					Set("type", store.Str("Movie"))
+				if _, _, err := entities.InsertCtx(ctx, d); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, err := entities.CountWhereCtx(ctx, store.EqStr("type", "Movie")); err != nil {
+					t.Errorf("countwhere: %v", err)
+					return
+				}
+				if _, err := entities.FindCtx(ctx, store.Prefix("name", fmt.Sprintf("ent-%d-", w))); err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, err := entities.CountCtx(ctx); err != nil || n != 200 {
+		t.Fatalf("final count = %d, %v; want 200", n, err)
+	}
+}
+
+// TestFollowerReplication drives the primary through the wire and checks
+// the follower converges to the same contents via the event feed.
+func TestFollowerReplication(t *testing.T) {
+	primary := NewNode("p")
+	hostAll(primary, 1)
+	follower := NewFollowerNode("f")
+	hostAll(follower, 1)
+	fol := NewFollower(follower, Loopback{Node: primary}, time.Hour) // manual pulls only
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: primary}, nil)
+	ctx := context.Background()
+
+	id1, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str("a")).Set("n", store.Num(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str("b")).Set("n", store.Num(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.PullOnce(); err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	// Mutate further: update one, delete one, insert one.
+	if ok, err := shard.Update(ctx, id1, store.NewDoc().Set("name", store.Str("a")).Set("n", store.Num(10))); err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	if ok, err := shard.Delete(ctx, id2); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str("c")).Set("n", store.Num(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.PullOnce(); err != nil {
+		t.Fatalf("incremental pull: %v", err)
+	}
+
+	// The follower must now answer reads identically to the primary.
+	fShard := NewRemoteShard(NSEntities, 0, Loopback{Node: follower}, nil)
+	for name, want := range map[string]int64{"a": 10, "b": -1, "c": 3} {
+		docs, err := fShard.Find(ctx, store.EqStr("name", name))
+		if err != nil {
+			t.Fatalf("find %s: %v", name, err)
+		}
+		if want < 0 {
+			if len(docs) != 0 {
+				t.Errorf("deleted %q still on follower", name)
+			}
+			continue
+		}
+		if len(docs) != 1 {
+			t.Fatalf("find %s: %d docs", name, len(docs))
+		}
+		if v, _ := docs[0].Path("n"); true {
+			if n, _ := v.Scalar().AsInt(); n != want {
+				t.Errorf("%s: n = %d, want %d", name, n, want)
+			}
+		}
+	}
+	if n, err := fShard.Count(ctx); err != nil || n != 2 {
+		t.Fatalf("follower count = %d, %v; want 2", n, err)
+	}
+}
+
+// TestFollowerIndexReplication checks that index creation travels the
+// replication feed: a follower must serve indexed lookups through the
+// same access path as its primary, so result order stays identical.
+func TestFollowerIndexReplication(t *testing.T) {
+	primary := NewNode("p")
+	hostAll(primary, 1)
+	follower := NewFollowerNode("f")
+	hostAll(follower, 1)
+	fol := NewFollower(follower, Loopback{Node: primary}, time.Hour) // manual pulls only
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: primary}, nil)
+	ctx := context.Background()
+
+	// Insert in reverse-alphabetical order so index order (sorted keys for
+	// a btree, bucket order for a hash) is observably different from
+	// insertion order.
+	for _, name := range []string{"zeta", "mid", "alpha"} {
+		if _, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str(name)).Set("body", store.Str("text about "+name))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := shard.CreateIndex(ctx, "by_name", "name", store.BTreeIndex); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+	if err := shard.CreateTextIndex(ctx, "body"); err != nil {
+		t.Fatalf("create text index: %v", err)
+	}
+	if err := fol.PullOnce(); err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+
+	fh := follower.shard(ShardKey(NSEntities, 0))
+	fc, fGen := fh.view()
+	if len(fc.Indexes()) != 1 || len(fc.TextIndexes()) != 1 {
+		t.Fatalf("follower has %d indexes, %d text indexes; want 1 and 1",
+			len(fc.Indexes()), len(fc.TextIndexes()))
+	}
+	ph := primary.shard(ShardKey(NSEntities, 0))
+	if _, pGen := ph.view(); fGen != pGen {
+		t.Fatalf("follower gen %d != primary gen %d", fGen, pGen)
+	}
+
+	// An In filter is served from the index; both sides must return the
+	// same docs in the same order.
+	fShard := NewRemoteShard(NSEntities, 0, Loopback{Node: follower}, nil)
+	filter := store.In("name", record.String("zeta"), record.String("alpha"), record.String("mid"))
+	pd, err := shard.Find(ctx, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := fShard.Find(ctx, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd) != 3 || len(fd) != 3 {
+		t.Fatalf("got %d primary docs, %d follower docs; want 3 each", len(pd), len(fd))
+	}
+	for i := range pd {
+		if pn, fn := pd[i].PathString("name"), fd[i].PathString("name"); pn != fn {
+			t.Errorf("doc %d: primary %q != follower %q (index order diverged)", i, pn, fn)
+		}
+	}
+}
+
+// TestFollowerSnapshotResync forces the retained event window to trim and
+// checks the follower falls back to a full snapshot transfer.
+func TestFollowerSnapshotResync(t *testing.T) {
+	primary := NewNode("p")
+	primary.AddShard(ShardKey(NSEntities, 0), store.NewCollection(NSEntities, 0))
+	h := primary.shard(ShardKey(NSEntities, 0))
+	// Seed past the retention window directly, then trim as the node would.
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: primary}, nil)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str(fmt.Sprintf("e%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.mu.Lock()
+	h.events = h.events[8:] // pretend events 1..8 were trimmed
+	h.mu.Unlock()
+
+	follower := NewFollowerNode("f")
+	follower.AddShard(ShardKey(NSEntities, 0), store.NewCollection(NSEntities, 0))
+	fol := NewFollower(follower, Loopback{Node: primary}, time.Hour)
+	if err := fol.PullOnce(); err != nil {
+		t.Fatalf("resync pull: %v", err)
+	}
+	fShard := NewRemoteShard(NSEntities, 0, Loopback{Node: follower}, nil)
+	if n, err := fShard.Count(ctx); err != nil || n != 10 {
+		t.Fatalf("follower count after resync = %d, %v; want 10", n, err)
+	}
+	fh := follower.shard(ShardKey(NSEntities, 0))
+	if _, gen := fh.view(); gen != 10 {
+		t.Fatalf("follower generation = %d, want 10", gen)
+	}
+}
+
+// TestReadYourWrites checks the generation fence: a client that just
+// wrote reads its write even when the follower lags, because the lagging
+// replica answers busy and the read falls back to the primary.
+func TestReadYourWrites(t *testing.T) {
+	primary := NewNode("p")
+	hostAll(primary, 1)
+	follower := NewFollowerNode("f")
+	hostAll(follower, 1) // never pulled: permanently at generation 0
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: primary}, Loopback{Node: follower})
+	ctx := context.Background()
+	if _, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str("fresh"))); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := shard.Find(ctx, store.EqStr("name", "fresh"))
+	if err != nil {
+		t.Fatalf("find after write: %v", err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("stale read: %d docs, want 1 (fence must route to primary)", len(docs))
+	}
+	// The lagging replica itself must answer Busy when fenced.
+	resp := follower.Handle(&Request{Op: OpFind, Shard: ShardKey(NSEntities, 0), MinGen: 1, Body: mustFilter(t, nil)})
+	if resp.Err == nil || !errors.Is(resp.Err, dterr.ErrBusy) {
+		t.Fatalf("fenced read on lagging replica = %v, want busy", resp.Err)
+	}
+}
+
+func mustFilter(t *testing.T, f store.Filter) []byte {
+	t.Helper()
+	b, err := EncodeFilter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFollowerWriteRejected checks a read-only replica refuses writes.
+func TestFollowerWriteRejected(t *testing.T) {
+	follower := NewFollowerNode("f")
+	hostAll(follower, 1)
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: follower}, nil)
+	_, err := shard.Insert(context.Background(), store.NewDoc().Set("name", store.Str("x")))
+	if !errors.Is(err, dterr.ErrUnavailable) {
+		t.Fatalf("write to follower = %v, want unavailable", err)
+	}
+}
+
+// TestUnknownShard checks the node's typed not-found for unhosted shards.
+func TestUnknownShard(t *testing.T) {
+	node := NewNode("n")
+	shard := NewRemoteShard(NSEntities, 7, Loopback{Node: node}, nil)
+	_, err := shard.Count(context.Background())
+	if !errors.Is(err, dterr.ErrNotFound) {
+		t.Fatalf("unhosted shard read = %v, want not found", err)
+	}
+}
+
+// TestTCPTransport runs a node on a real socket and exercises the wire
+// end to end, including error mapping for unreachable and closed
+// transports.
+func TestTCPTransport(t *testing.T) {
+	node := NewNode("tcp")
+	hostAll(node, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go node.Serve(ln)
+
+	tr := Dial(ln.Addr().String(), 2*time.Second)
+	shard := NewRemoteShard(NSEntities, 0, tr, nil)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := shard.Insert(ctx, store.NewDoc().
+			Set("name", store.Str(fmt.Sprintf("sock-%d", i))).
+			Set("type", store.Str("Movie"))); err != nil {
+			t.Fatalf("insert over tcp: %v", err)
+		}
+	}
+	if n, err := shard.Count(ctx); err != nil || n != 20 {
+		t.Fatalf("count over tcp = %d, %v", n, err)
+	}
+	docs, err := shard.Find(ctx, store.Contains("name", "sock-1"))
+	if err != nil {
+		t.Fatalf("find over tcp: %v", err)
+	}
+	if len(docs) != 11 { // sock-1, sock-10..sock-19
+		t.Fatalf("find over tcp: %d docs, want 11", len(docs))
+	}
+	if err := shard.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	// Cancelled context surfaces as the context's typed error.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := shard.Count(cctx); !errors.Is(err, dterr.ErrCanceled) {
+		t.Fatalf("cancelled call = %v, want canceled", err)
+	}
+
+	// A closed transport refuses further calls.
+	tr.Close()
+	if _, err := shard.Count(ctx); !errors.Is(err, dterr.ErrClosed) {
+		t.Fatalf("closed transport call = %v, want closed", err)
+	}
+
+	// An unreachable node maps to busy — the degraded-read signal.
+	dead := Dial("127.0.0.1:1", 200*time.Millisecond)
+	defer dead.Close()
+	deadShard := NewRemoteShard(NSEntities, 0, dead, nil)
+	if _, err := deadShard.Count(ctx); !errors.Is(err, dterr.ErrBusy) {
+		t.Fatalf("unreachable node call = %v, want busy", err)
+	}
+}
+
+// TestFollowerDownFallsBack kills the follower transport and checks reads
+// degrade to the primary instead of failing.
+func TestFollowerDownFallsBack(t *testing.T) {
+	primary := NewNode("p")
+	hostAll(primary, 1)
+	dead := Dial("127.0.0.1:1", 200*time.Millisecond)
+	defer dead.Close()
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: primary}, dead)
+	ctx := context.Background()
+	if _, err := shard.Insert(ctx, store.NewDoc().Set("name", store.Str("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := shard.Count(ctx); err != nil || n != 1 {
+		t.Fatalf("read with dead follower = %d, %v; want primary fallback", n, err)
+	}
+}
+
+// TestConfigValidation covers the membership invariants.
+func TestConfigValidation(t *testing.T) {
+	good := `{"shards": 2, "nodes": [
+		{"name": "a", "addr": "127.0.0.1:7101", "shards": [0]},
+		{"name": "b", "addr": "127.0.0.1:7102", "follower": "127.0.0.1:7202", "shards": [1]}
+	]}`
+	cfg, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if cfg.Owner(1).Name != "b" || cfg.Owner(0).Name != "a" {
+		t.Fatal("owner lookup wrong")
+	}
+	bad := map[string]string{
+		"no nodes":        `{"shards": 1, "nodes": []}`,
+		"orphan shard":    `{"shards": 2, "nodes": [{"name": "a", "addr": "x", "shards": [0]}]}`,
+		"double owner":    `{"shards": 1, "nodes": [{"name": "a", "addr": "x", "shards": [0]}, {"name": "b", "addr": "y", "shards": [0]}]}`,
+		"range":           `{"shards": 1, "nodes": [{"name": "a", "addr": "x", "shards": [1]}]}`,
+		"dup name":        `{"shards": 2, "nodes": [{"name": "a", "addr": "x", "shards": [0]}, {"name": "a", "addr": "y", "shards": [1]}]}`,
+		"no addr":         `{"shards": 1, "nodes": [{"name": "a", "shards": [0]}]}`,
+		"negative vnodes": `{"shards": 1, "vnodes": -1, "nodes": [{"name": "a", "addr": "x", "shards": [0]}]}`,
+	}
+	for name, raw := range bad {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// TestRing checks determinism, coverage, and bounded movement of the
+// consistent-hash ring.
+func TestRing(t *testing.T) {
+	ring := NewRing(4, 64)
+	seen := make(map[int]int)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s := ring.Route(key)
+		if s2 := ring.Route(key); s2 != s {
+			t.Fatalf("nondeterministic route for %q: %d then %d", key, s, s2)
+		}
+		if s < 0 || s >= 4 {
+			t.Fatalf("route out of range: %d", s)
+		}
+		seen[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if seen[s] == 0 {
+			t.Errorf("shard %d received no keys", s)
+		}
+	}
+	// Growing 4 -> 5 shards must move well under half the keys (mod-N
+	// would move ~80%).
+	bigger := NewRing(5, 64)
+	moved := 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if ring.Route(key) != bigger.Route(key) {
+			moved++
+		}
+	}
+	if moved > 2000 {
+		t.Fatalf("adding a shard moved %d/4000 keys — not consistent hashing", moved)
+	}
+}
+
+// TestRingRoutedSharded checks vnodes>0 wires ring routing into the
+// coordinator router.
+func TestRingRoutedSharded(t *testing.T) {
+	const shards = 3
+	node := NewNode("r")
+	hostAll(node, shards)
+	entB := make([]store.ShardBackend, shards)
+	for i := 0; i < shards; i++ {
+		entB[i] = NewRemoteShard(NSEntities, i, Loopback{Node: node}, nil)
+	}
+	ring := NewRing(shards, 32)
+	entities, err := store.NewShardedBackends(NSEntities, "name", entB, ring.Route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("e-%d", i)
+		shard, _, err := entities.InsertCtx(ctx, store.NewDoc().Set("name", store.Str(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ring.Route(name); shard != want {
+			t.Fatalf("doc %q routed to %d, ring says %d", name, shard, want)
+		}
+	}
+	if n, err := entities.CountCtx(ctx); err != nil || n != 60 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+// TestHealthHandler checks the node liveness endpoint shape.
+func TestHealthHandler(t *testing.T) {
+	node := NewNode("hz")
+	hostAll(node, 1)
+	shard := NewRemoteShard(NSEntities, 0, Loopback{Node: node}, nil)
+	if _, err := shard.Insert(context.Background(), store.NewDoc().Set("name", store.Str("x"))); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	node.HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"status":"ok"`, `"node":"hz"`, ShardKey(NSEntities, 0)} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz body missing %q: %s", want, body)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Namespaces a datatamer cluster shards. Every node hosts its assigned
+// shard indexes for both namespaces — instances and entities are
+// co-located so a fused read touches one node per shard.
+const (
+	NSInstances = "dt.instance"
+	NSEntities  = "dt.entity"
+)
+
+// Shard key paths, mirroring the single-process stores built by core.New.
+const (
+	instanceKeyPath = "source_url"
+	entityKeyPath   = "name"
+)
+
+// NodeSpec describes one dtnode process in cluster.json.
+type NodeSpec struct {
+	// Name identifies the node in logs and /healthz.
+	Name string `json:"name"`
+	// Addr is the host:port the node's shard transport listens on.
+	Addr string `json:"addr"`
+	// Follower is the optional address of a read replica mirroring this
+	// node's shards. Empty means reads go to the primary directly.
+	Follower string `json:"follower,omitempty"`
+	// Shards lists the shard indexes this node hosts.
+	Shards []int `json:"shards"`
+}
+
+// Config is the static cluster membership, loaded from cluster.json. The
+// paper's deployment assumes a fixed machine pool per ingest round, so
+// membership is configuration, not consensus.
+type Config struct {
+	// Shards is the total shard count across the cluster.
+	Shards int `json:"shards"`
+	// VNodes selects routing: 0 (default) keeps FNV-1a mod-N routing —
+	// placing every document exactly where a single-process deployment
+	// would — while any positive value routes through a consistent-hash
+	// ring with that many virtual nodes per shard, trading placement
+	// compatibility for bounded movement when the shard count changes.
+	VNodes int `json:"vnodes,omitempty"`
+	// ExtentSize overrides the collection extent size on nodes (bytes).
+	ExtentSize int64 `json:"extent_size,omitempty"`
+	// Nodes is the member list. Every shard index in [0,Shards) must be
+	// owned by exactly one node.
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// LoadConfig reads and validates a cluster.json file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseConfig(data)
+}
+
+// ParseConfig decodes and validates cluster.json bytes.
+func ParseConfig(data []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks the membership invariants: at least one shard, at least
+// one node, every shard owned exactly once, no duplicate names or blank
+// addresses.
+func (c *Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("cluster: config: shards must be >= 1, got %d", c.Shards)
+	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("cluster: config: vnodes must be >= 0, got %d", c.VNodes)
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: config: no nodes")
+	}
+	owner := make(map[int]string)
+	names := make(map[string]bool)
+	for _, n := range c.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: config: node with empty name")
+		}
+		if names[n.Name] {
+			return fmt.Errorf("cluster: config: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: config: node %q has no addr", n.Name)
+		}
+		for _, s := range n.Shards {
+			if s < 0 || s >= c.Shards {
+				return fmt.Errorf("cluster: config: node %q shard %d out of range [0,%d)", n.Name, s, c.Shards)
+			}
+			if prev, dup := owner[s]; dup {
+				return fmt.Errorf("cluster: config: shard %d owned by both %q and %q", s, prev, n.Name)
+			}
+			owner[s] = n.Name
+		}
+	}
+	for s := 0; s < c.Shards; s++ {
+		if _, ok := owner[s]; !ok {
+			return fmt.Errorf("cluster: config: shard %d has no owner", s)
+		}
+	}
+	return nil
+}
+
+// Owner returns the node spec hosting shard idx.
+func (c *Config) Owner(idx int) *NodeSpec {
+	for i := range c.Nodes {
+		for _, s := range c.Nodes[i].Shards {
+			if s == idx {
+				return &c.Nodes[i]
+			}
+		}
+	}
+	return nil
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// Ring is a consistent-hash ring over shard indexes. Each shard owns
+// VNodes points placed by FNV-1a; a key routes to the first point at or
+// clockwise after its own hash. Compared to mod-N, adding a shard moves
+// only ~1/N of the keys — but placement no longer matches the
+// single-process router, so the ring is opt-in via the vnodes setting.
+type Ring struct {
+	points []ringPoint
+}
+
+// NewRing builds a ring of shards*vnodes points.
+func NewRing(shards, vnodes int) *Ring {
+	points := make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{
+				hash:  Hash32(fmt.Sprintf("shard-%d/vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].shard < points[j].shard
+	})
+	return &Ring{points: points}
+}
+
+// Route returns the shard owning key.
+func (r *Ring) Route(key string) int {
+	h := Hash32(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the ring
+	}
+	return r.points[i].shard
+}
+
+// Hash32 is the FNV-1a hash used for ring placement — the same function
+// the in-process router uses for mod-N, so the two routing modes differ
+// only in how the hash is mapped to a shard.
+func Hash32(s string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Cluster is a connected client view of the cluster: one sharded router
+// per namespace, backed by RemoteShard proxies over pooled transports.
+type Cluster struct {
+	Config    *Config
+	Instances *store.Sharded
+	Entities  *store.Sharded
+
+	transports []Transport
+}
+
+// Connect builds the client view from a validated config. Transports dial
+// lazily, so Connect succeeds even while nodes are still starting; the
+// first call surfaces any connectivity failure as dterr.CodeBusy.
+func Connect(cfg *Config, timeout time.Duration) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Config: cfg}
+	byAddr := make(map[string]Transport)
+	transport := func(addr string) Transport {
+		if addr == "" {
+			return nil
+		}
+		if t, ok := byAddr[addr]; ok {
+			return t
+		}
+		t := Dial(addr, timeout)
+		byAddr[addr] = t
+		cl.transports = append(cl.transports, t)
+		return t
+	}
+
+	instances := make([]store.ShardBackend, cfg.Shards)
+	entities := make([]store.ShardBackend, cfg.Shards)
+	for idx := 0; idx < cfg.Shards; idx++ {
+		spec := cfg.Owner(idx)
+		primary := transport(spec.Addr)
+		follower := transport(spec.Follower)
+		instances[idx] = NewRemoteShard(NSInstances, idx, primary, follower)
+		entities[idx] = NewRemoteShard(NSEntities, idx, primary, follower)
+	}
+
+	var route func(string) int
+	if cfg.VNodes > 0 {
+		ring := NewRing(cfg.Shards, cfg.VNodes)
+		route = ring.Route
+	}
+	var err error
+	if cl.Instances, err = store.NewShardedBackends(NSInstances, instanceKeyPath, instances, route); err != nil {
+		return nil, err
+	}
+	if cl.Entities, err = store.NewShardedBackends(NSEntities, entityKeyPath, entities, route); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Close closes every transport.
+func (c *Cluster) Close() error {
+	var first error
+	for _, t := range c.transports {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BuildNode constructs the hosting Node for spec under cfg: one
+// collection per (namespace, shard index) pair, keyed for the wire
+// protocol. readOnly builds a follower node (same shard set, mutated only
+// by replication).
+func BuildNode(cfg *Config, spec *NodeSpec, readOnly bool) *Node {
+	n := NewNode(spec.Name)
+	n.readOnly = readOnly
+	for _, idx := range spec.Shards {
+		n.AddShard(ShardKey(NSInstances, idx), store.NewCollection(NSInstances, cfg.ExtentSize))
+		n.AddShard(ShardKey(NSEntities, idx), store.NewCollection(NSEntities, cfg.ExtentSize))
+	}
+	return n
+}

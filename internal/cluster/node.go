@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/dterr"
+	"repro/internal/store"
+)
+
+// maxRepLog bounds the in-memory replication log per hosted shard. A
+// follower further behind than the retained window resyncs with a full
+// snapshot instead of incremental events.
+const maxRepLog = 16384
+
+// repEvent is one retained mutation, ready to ship inside a
+// store.EventLog frame.
+type repEvent struct {
+	seq     uint64
+	kind    byte
+	payload []byte
+}
+
+// hostedShard is one shard served by a node: the collection, its mutation
+// generation, and the retained replication log. gen counts mutations;
+// every write increments it, and the assigned value doubles as the
+// replication sequence number, so "follower applied seq G" and "follower
+// is current through generation G" are the same statement.
+type hostedShard struct {
+	mu     sync.Mutex
+	coll   *store.Collection
+	gen    uint64
+	events []repEvent
+}
+
+// view returns the collection and generation under one lock acquisition.
+func (h *hostedShard) view() (*store.Collection, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.coll, h.gen
+}
+
+// logLocked retains one document mutation event. Must hold h.mu, after
+// the mutation was applied and h.gen incremented.
+func (h *hostedShard) logLocked(kind byte, id int64, d *store.Doc) {
+	h.logRawLocked(kind, EncodeIDDoc(id, d))
+}
+
+// logRawLocked retains one event with an arbitrary payload. Must hold
+// h.mu, after the mutation was applied and h.gen incremented.
+func (h *hostedShard) logRawLocked(kind byte, payload []byte) {
+	h.events = append(h.events, repEvent{seq: h.gen, kind: kind, payload: payload})
+	if len(h.events) > maxRepLog {
+		h.events = h.events[len(h.events)-maxRepLog:]
+	}
+}
+
+// Node hosts shards and serves the wire protocol over them. One process
+// (cmd/dtnode) runs one Node; tests drive a Node directly through the
+// loopback transport.
+type Node struct {
+	name     string
+	readOnly bool // follower nodes reject writes
+
+	mu     sync.RWMutex
+	shards map[string]*hostedShard
+}
+
+// NewNode creates an empty node.
+func NewNode(name string) *Node {
+	return &Node{name: name, shards: make(map[string]*hostedShard)}
+}
+
+// NewFollowerNode creates an empty read-only node: replication apply is
+// the only mutation path, and write ops over the wire are rejected.
+func NewFollowerNode(name string) *Node {
+	n := NewNode(name)
+	n.readOnly = true
+	return n
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// AddShard hosts a collection under the given shard key ("ns/index").
+func (n *Node) AddShard(key string, c *store.Collection) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.shards[key] = &hostedShard{coll: c}
+}
+
+// ShardKeys returns the hosted shard keys, sorted.
+func (n *Node) ShardKeys() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	keys := make([]string, 0, len(n.shards))
+	for k := range n.shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (n *Node) shard(key string) *hostedShard {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.shards[key]
+}
+
+// errResp builds an error response, classifying non-dterr errors as
+// invalid argument (they come from decoding a malformed body).
+func errResp(id uint64, err error) *Response {
+	var de *dterr.Error
+	if !errors.As(err, &de) {
+		de = dterr.New(dterr.CodeInvalidArgument, err.Error())
+	} else {
+		de = dterr.FromCode(de.Code, err.Error())
+	}
+	return &Response{ID: id, Err: de}
+}
+
+// Handle dispatches one decoded request and returns its response. It
+// never panics on malformed bodies — decode failures become
+// invalid-argument responses, which round-trip to typed errors on the
+// client.
+func (n *Node) Handle(req *Request) *Response {
+	if req.Op == OpPing {
+		return &Response{ID: req.ID}
+	}
+	h := n.shard(req.Shard)
+	if h == nil {
+		return errResp(req.ID, dterr.Newf(dterr.CodeNotFound, "cluster: node %q does not host shard %q", n.name, req.Shard))
+	}
+	switch req.Op {
+	case OpInsert, OpUpdate, OpDelete, OpCreateIndex, OpCreateTextIndex:
+		if n.readOnly {
+			return errResp(req.ID, dterr.Newf(dterr.CodeUnavailable, "cluster: node %q is a read-only follower", n.name))
+		}
+		return n.handleWrite(req, h)
+	case OpPull:
+		return n.handlePull(req, h)
+	default:
+		return n.handleRead(req, h)
+	}
+}
+
+func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	resp := &Response{ID: req.ID}
+	switch req.Op {
+	case OpInsert:
+		d, err := store.DecodeDoc(req.Body)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		id := h.coll.Insert(d)
+		h.gen++
+		h.logLocked(EvInsert, id, d)
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(id))
+		resp.Body = buf.Bytes()
+	case OpUpdate:
+		id, d, err := DecodeIDDoc(req.Body)
+		if err != nil || d == nil {
+			return errResp(req.ID, fmt.Errorf("cluster: update body: %v", err))
+		}
+		ok := h.coll.Update(id, d)
+		if ok {
+			h.gen++
+			h.logLocked(EvUpdate, id, d)
+		}
+		resp.Body = boolBody(ok)
+	case OpDelete:
+		id, _, err := DecodeIDDoc(req.Body)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		ok := h.coll.Delete(id)
+		if ok {
+			h.gen++
+			h.logLocked(EvDelete, id, nil)
+		}
+		resp.Body = boolBody(ok)
+	case OpCreateIndex:
+		name, path, kind, err := DecodeCreateIndex(req.Body)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		h.coll.EnsureIndex(name, path, kind)
+		h.gen++
+		h.logRawLocked(EvCreateIndex, req.Body)
+	case OpCreateTextIndex:
+		rd := bytes.NewReader(req.Body)
+		path, err := getString(rd)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		h.coll.EnsureTextIndex(path)
+		h.gen++
+		h.logRawLocked(EvCreateTextIndex, req.Body)
+	}
+	resp.Gen = h.gen
+	return resp
+}
+
+func (n *Node) handleRead(req *Request, h *hostedShard) *Response {
+	coll, gen := h.view()
+	if req.MinGen > gen {
+		// Read-your-writes fence: this replica has not yet applied the
+		// generation the caller observed on its write path. Busy tells the
+		// client to fall back to the primary.
+		return errResp(req.ID, dterr.Newf(dterr.CodeBusy,
+			"cluster: node %q shard %q at generation %d, read requires %d", n.name, req.Shard, gen, req.MinGen))
+	}
+	resp := &Response{ID: req.ID, Gen: gen}
+	switch req.Op {
+	case OpFind:
+		filter, err := DecodeFilter(req.Body)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		resp.Body = EncodeDocList(coll.Find(filter))
+	case OpCount:
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(coll.Count()))
+		resp.Body = buf.Bytes()
+	case OpCountWhere:
+		filter, err := DecodeFilter(req.Body)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		var buf bytes.Buffer
+		putUvarint(&buf, uint64(coll.CountWhere(filter)))
+		resp.Body = buf.Bytes()
+	case OpDistinct:
+		rd := bytes.NewReader(req.Body)
+		path, err := getString(rd)
+		if err != nil {
+			return errResp(req.ID, err)
+		}
+		resp.Body = EncodeDistinct(coll.Distinct(path))
+	case OpStats:
+		resp.Body = EncodeStats(coll.Stats())
+	case OpSnapshot:
+		var ids []int64
+		var docs []*store.Doc
+		coll.Scan(func(id int64, d *store.Doc) bool {
+			ids = append(ids, id)
+			docs = append(docs, d)
+			return true
+		})
+		resp.Body = EncodeSnapshot(ids, docs)
+	default:
+		return errResp(req.ID, dterr.Newf(dterr.CodeInvalidArgument, "cluster: unknown op %d", req.Op))
+	}
+	return resp
+}
+
+// handlePull serves the replication feed: events after the follower's
+// sequence number, or a full snapshot when the retained log no longer
+// reaches back that far.
+func (n *Node) handlePull(req *Request, h *hostedShard) *Response {
+	rd := bytes.NewReader(req.Body)
+	afterSeq, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return errResp(req.ID, err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	resp := &Response{ID: req.ID, Gen: h.gen}
+	oldest := h.gen + 1
+	if len(h.events) > 0 {
+		oldest = h.events[0].seq
+	}
+	if afterSeq+1 < oldest {
+		// The follower is behind the retained window: full resync.
+		var ids []int64
+		var docs []*store.Doc
+		h.coll.Scan(func(id int64, d *store.Doc) bool {
+			ids = append(ids, id)
+			docs = append(docs, d)
+			return true
+		})
+		resp.Body = append([]byte{PullSnapshot}, EncodeSnapshot(ids, docs)...)
+		return resp
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(PullEvents)
+	log, err := store.NewEventLogAt(&buf, afterSeq+1)
+	if err != nil {
+		return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+	}
+	for _, ev := range h.events {
+		if ev.seq <= afterSeq {
+			continue
+		}
+		if _, err := log.Append(ev.kind, ev.payload); err != nil {
+			return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+		}
+	}
+	if err := log.Flush(); err != nil {
+		return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+	}
+	resp.Body = buf.Bytes()
+	return resp
+}
+
+func boolBody(ok bool) []byte {
+	if ok {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// Serve accepts connections on ln until the listener closes, running one
+// goroutine per connection. Requests on a connection are processed
+// sequentially, matching the client transport's framing.
+func (n *Node) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for {
+		frame, err := store.ReadFrame(r, MaxFrameLen)
+		if err != nil {
+			return // clean EOF or torn frame: drop the connection either way
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			return // cannot trust the stream past an undecodable request
+		}
+		resp := n.Handle(req)
+		if err := store.WriteFrame(w, resp.Encode()); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// HealthHandler serves GET /healthz-style liveness: node name, hosted
+// shard keys, and each shard's generation.
+func (n *Node) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gens := make(map[string]uint64)
+		n.mu.RLock()
+		for key, h := range n.shards {
+			_, gen := h.view()
+			gens[key] = gen
+		}
+		name := n.name
+		n.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"node":   name,
+			"shards": gens,
+		})
+	})
+}
+
+// Follower pulls the replication feed of a primary node into a local
+// (read-only) node at a fixed interval, keeping each hosted shard's
+// applied generation in step with the primary's mutation generation.
+type Follower struct {
+	node     *Node
+	primary  Transport
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFollower wires node to pull from primary every interval (0 selects
+// 50ms). The node's hosted shard keys define what is replicated.
+func NewFollower(node *Node, primary Transport, interval time.Duration) *Follower {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	return &Follower{
+		node:     node,
+		primary:  primary,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the pull loop. An initial synchronous pull is attempted
+// so a freshly started follower is current before the first tick; its
+// failure is not fatal (the loop retries).
+func (f *Follower) Start() {
+	f.PullOnce()
+	go f.loop()
+}
+
+// Stop terminates the pull loop and waits for it to exit.
+func (f *Follower) Stop() {
+	close(f.stop)
+	<-f.done
+}
+
+func (f *Follower) loop() {
+	defer close(f.done)
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.PullOnce()
+		}
+	}
+}
+
+// PullOnce pulls every hosted shard once, returning the first error. A
+// failed pull leaves the shard at its previous generation — reads keep
+// serving the older snapshot, and the read-your-writes fence keeps
+// lagging results away from clients that demand newer ones.
+func (f *Follower) PullOnce() error {
+	var first error
+	for _, key := range f.node.ShardKeys() {
+		if err := f.pullShard(key); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *Follower) pullShard(key string) error {
+	h := f.node.shard(key)
+	if h == nil {
+		return dterr.Newf(dterr.CodeNotFound, "cluster: follower does not host %q", key)
+	}
+	_, after := h.view()
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultCallTimeout)
+	defer cancel()
+	var body bytes.Buffer
+	putUvarint(&body, after)
+	resp, err := f.primary.Call(ctx, &Request{Op: OpPull, Shard: key, Body: body.Bytes()})
+	if err != nil {
+		return err
+	}
+	if resp.Err != nil {
+		return resp.Err
+	}
+	if len(resp.Body) == 0 {
+		return dterr.New(dterr.CodeInternal, "cluster: empty pull response")
+	}
+	switch resp.Body[0] {
+	case PullSnapshot:
+		ids, docs, err := DecodeSnapshot(resp.Body[1:])
+		if err != nil {
+			return dterr.Wrap(dterr.CodeInternal, err)
+		}
+		fresh := store.NewCollection(nsOf(key), 0)
+		for i, id := range ids {
+			fresh.ApplyReplay(id, docs[i])
+		}
+		h.mu.Lock()
+		h.coll = fresh
+		h.gen = resp.Gen
+		h.mu.Unlock()
+		return nil
+	case PullEvents:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		stats, err := store.ReplayEventLog(bytes.NewReader(resp.Body[1:]), after,
+			func(seq uint64, kind byte, payload []byte) error {
+				switch kind {
+				case EvInsert, EvUpdate:
+					id, d, err := DecodeIDDoc(payload)
+					if err != nil {
+						return err
+					}
+					h.coll.ApplyReplay(id, d)
+				case EvDelete:
+					id, _, err := DecodeIDDoc(payload)
+					if err != nil {
+						return err
+					}
+					h.coll.Delete(id)
+				case EvCreateIndex:
+					name, path, k, err := DecodeCreateIndex(payload)
+					if err != nil {
+						return err
+					}
+					h.coll.EnsureIndex(name, path, k)
+				case EvCreateTextIndex:
+					p, err := getString(bytes.NewReader(payload))
+					if err != nil {
+						return err
+					}
+					h.coll.EnsureTextIndex(p)
+				default:
+					return fmt.Errorf("cluster: unknown replication event kind %d", kind)
+				}
+				h.gen = seq
+				return nil
+			})
+		if err != nil {
+			return dterr.Wrap(dterr.CodeInternal, err)
+		}
+		if stats.Truncated {
+			return dterr.New(dterr.CodeInternal, "cluster: torn replication feed")
+		}
+		return nil
+	default:
+		return dterr.Newf(dterr.CodeInternal, "cluster: unknown pull flag %d", resp.Body[0])
+	}
+}
+
+// nsOf extracts the namespace from a shard key ("dt.entity/2" →
+// "dt.entity").
+func nsOf(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}

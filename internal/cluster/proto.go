@@ -1,0 +1,555 @@
+// Package cluster lets the sharded store span processes: a length-prefixed
+// binary wire protocol over TCP reusing the store codec and CRC framing, a
+// RemoteShard client implementing store.ShardBackend, a coordinator that
+// assembles routers over remote shards from a static cluster.json
+// membership table, and primary→follower replication of shard mutations
+// for replicated snapshot reads with a read-your-writes generation check.
+// An in-process loopback transport exercises the full codec without
+// sockets, which is how most of the test suite runs.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/dterr"
+	"repro/internal/store"
+)
+
+// Operation codes of the wire protocol. One request frame carries one op
+// against one hosted shard; responses reuse the same CRC framing.
+const (
+	OpPing byte = iota + 1
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpFind
+	OpCount
+	OpCountWhere
+	OpDistinct
+	OpStats
+	OpSnapshot
+	OpCreateIndex
+	OpCreateTextIndex
+	OpPull
+)
+
+// MaxFrameLen bounds a wire frame so a corrupt or hostile length header
+// cannot make the reader allocate an arbitrary buffer. Snapshot transfers
+// of a full shard are the largest frames; 64 MB is ~30x the scaled-down
+// deployment's whole corpus.
+const MaxFrameLen uint32 = 64 << 20
+
+// Replication event kinds, carried as the store.EventLog kind byte when a
+// primary ships its mutation log to a follower. Payload: 8-byte little-
+// endian id, then the encoded document (insert/update only).
+const (
+	EvInsert byte = 1
+	EvUpdate byte = 2
+	EvDelete byte = 3
+	// Index creation replicates too, so a follower serves reads through
+	// the same access paths (and thus in the same result order) as its
+	// primary. Payloads reuse the create-index request encodings.
+	EvCreateIndex     byte = 4
+	EvCreateTextIndex byte = 5
+)
+
+// Pull response flags: the first body byte of an OpPull response says
+// whether the rest is an incremental event log or a full shard snapshot
+// (the resync path when the primary has trimmed past the follower's
+// position).
+const (
+	PullEvents   byte = 0
+	PullSnapshot byte = 1
+)
+
+// Request is one wire request. Body is the op-specific payload, already
+// encoded; MinGen is the read-your-writes fence — a replica must have
+// applied at least this generation to serve a read, and answers busy
+// otherwise.
+type Request struct {
+	ID     uint64
+	Op     byte
+	Shard  string // "ns/index", e.g. "dt.entity/2"
+	MinGen uint64
+	Body   []byte
+}
+
+// Encode serializes the request for framing.
+func (r *Request) Encode() []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, r.ID)
+	buf.WriteByte(r.Op)
+	putString(&buf, r.Shard)
+	putUvarint(&buf, r.MinGen)
+	buf.Write(r.Body)
+	return buf.Bytes()
+}
+
+// DecodeRequest parses a request frame.
+func DecodeRequest(data []byte) (*Request, error) {
+	rd := bytes.NewReader(data)
+	id, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: request id: %w", err)
+	}
+	op, err := rd.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: request op: %w", err)
+	}
+	shard, err := getString(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: request shard: %w", err)
+	}
+	minGen, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: request mingen: %w", err)
+	}
+	body := make([]byte, rd.Len())
+	if _, err := io.ReadFull(rd, body); err != nil {
+		return nil, fmt.Errorf("cluster: request body: %w", err)
+	}
+	return &Request{ID: id, Op: op, Shard: shard, MinGen: minGen, Body: body}, nil
+}
+
+// Response is one wire response. Exactly one of Err and Body is
+// meaningful; Gen is the responding shard's mutation generation, which
+// write callers record as their read-your-writes fence.
+type Response struct {
+	ID   uint64
+	Gen  uint64
+	Body []byte
+	Err  *dterr.Error
+}
+
+// Encode serializes the response for framing. Errors travel as
+// (code, message) and are rebuilt with dterr.FromCode on the client, so
+// errors.Is comparisons against the dterr sentinels survive the wire.
+func (r *Response) Encode() []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, r.ID)
+	if r.Err != nil {
+		buf.WriteByte(1)
+		putString(&buf, string(r.Err.Code))
+		putString(&buf, r.Err.Message)
+		return buf.Bytes()
+	}
+	buf.WriteByte(0)
+	putUvarint(&buf, r.Gen)
+	buf.Write(r.Body)
+	return buf.Bytes()
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(data []byte) (*Response, error) {
+	rd := bytes.NewReader(data)
+	id, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: response id: %w", err)
+	}
+	status, err := rd.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: response status: %w", err)
+	}
+	if status == 1 {
+		code, err := getString(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: response error code: %w", err)
+		}
+		msg, err := getString(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: response error message: %w", err)
+		}
+		return &Response{ID: id, Err: dterr.FromCode(dterr.Code(code), msg)}, nil
+	}
+	gen, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: response gen: %w", err)
+	}
+	body := make([]byte, rd.Len())
+	if _, err := io.ReadFull(rd, body); err != nil {
+		return nil, fmt.Errorf("cluster: response body: %w", err)
+	}
+	return &Response{ID: id, Gen: gen, Body: body}, nil
+}
+
+// ShardKey names one hosted shard on the wire.
+func ShardKey(ns string, index int) string { return fmt.Sprintf("%s/%d", ns, index) }
+
+// --- filter codec -----------------------------------------------------
+//
+// Filters cross the wire as documents through the store codec, so the
+// wire protocol adds no second serialization format: a Cond becomes
+// {t: "cond", op, path, value, set}, combinators nest recursively.
+
+// EncodeFilter serializes a filter; nil (match-all) is encodable.
+func EncodeFilter(f store.Filter) ([]byte, error) {
+	d, err := filterDoc(f)
+	if err != nil {
+		return nil, err
+	}
+	return store.EncodeDoc(d), nil
+}
+
+// DecodeFilter reverses EncodeFilter.
+func DecodeFilter(data []byte) (store.Filter, error) {
+	d, err := store.DecodeDoc(data)
+	if err != nil {
+		return nil, dterr.Wrap(dterr.CodeInvalidArgument, err)
+	}
+	return docFilter(d)
+}
+
+func filterDoc(f store.Filter) (*store.Doc, error) {
+	switch v := f.(type) {
+	case nil:
+		return store.NewDoc().Set("t", store.Str("nil")), nil
+	case store.Cond:
+		d := store.NewDoc().
+			Set("t", store.Str("cond")).
+			Set("op", store.Num(int64(v.Op))).
+			Set("path", store.Str(v.Path)).
+			Set("value", store.Scalar(v.Value))
+		if len(v.Set) > 0 {
+			set := make([]store.DocValue, len(v.Set))
+			for i, s := range v.Set {
+				set[i] = store.Scalar(s)
+			}
+			d.Set("set", store.List(set...))
+		}
+		return d, nil
+	case store.And:
+		return combinatorDoc("and", v)
+	case store.Or:
+		return combinatorDoc("or", v)
+	case store.Not:
+		kid, err := filterDoc(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return store.NewDoc().Set("t", store.Str("not")).Set("kid", store.Nested(kid)), nil
+	case store.All:
+		return store.NewDoc().Set("t", store.Str("all")), nil
+	default:
+		return nil, dterr.Newf(dterr.CodeInvalidArgument, "cluster: unsupported filter type %T", f)
+	}
+}
+
+func combinatorDoc(t string, kids []store.Filter) (*store.Doc, error) {
+	vs := make([]store.DocValue, len(kids))
+	for i, kid := range kids {
+		kd, err := filterDoc(kid)
+		if err != nil {
+			return nil, err
+		}
+		vs[i] = store.Nested(kd)
+	}
+	return store.NewDoc().Set("t", store.Str(t)).Set("kids", store.List(vs...)), nil
+}
+
+func docFilter(d *store.Doc) (store.Filter, error) {
+	switch t := d.PathString("t"); t {
+	case "nil":
+		return nil, nil
+	case "all":
+		return store.All{}, nil
+	case "cond":
+		opv, _ := d.Path("op")
+		op, _ := opv.Scalar().AsInt()
+		c := store.Cond{Path: d.PathString("path"), Op: store.Op(op)}
+		if v, ok := d.Path("value"); ok {
+			c.Value = v.Scalar()
+		}
+		if set, ok := d.Path("set"); ok && set.IsList() {
+			for _, e := range set.List() {
+				c.Set = append(c.Set, e.Scalar())
+			}
+		}
+		return c, nil
+	case "and", "or":
+		kidsV, _ := d.Path("kids")
+		var kids []store.Filter
+		for _, e := range kidsV.List() {
+			if e.Doc() == nil {
+				return nil, dterr.New(dterr.CodeInvalidArgument, "cluster: combinator child is not a document")
+			}
+			kid, err := docFilter(e.Doc())
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, kid)
+		}
+		if t == "and" {
+			return store.And(kids), nil
+		}
+		return store.Or(kids), nil
+	case "not":
+		kidV, ok := d.Path("kid")
+		if !ok || kidV.Doc() == nil {
+			return nil, dterr.New(dterr.CodeInvalidArgument, "cluster: not-filter missing child")
+		}
+		kid, err := docFilter(kidV.Doc())
+		if err != nil {
+			return nil, err
+		}
+		return store.Not{Inner: kid}, nil
+	default:
+		return nil, dterr.Newf(dterr.CodeInvalidArgument, "cluster: unknown filter tag %q", t)
+	}
+}
+
+// --- op payload codecs ------------------------------------------------
+
+// EncodeIDDoc packs (id, doc) — the update request body and the
+// replication event payload.
+func EncodeIDDoc(id int64, d *store.Doc) []byte {
+	var buf bytes.Buffer
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], uint64(id))
+	buf.Write(idb[:])
+	if d != nil {
+		buf.Write(store.EncodeDoc(d))
+	}
+	return buf.Bytes()
+}
+
+// DecodeIDDoc unpacks EncodeIDDoc; doc is nil when absent (deletes).
+func DecodeIDDoc(data []byte) (int64, *store.Doc, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("cluster: id+doc payload too short (%d bytes)", len(data))
+	}
+	id := int64(binary.LittleEndian.Uint64(data[:8]))
+	if len(data) == 8 {
+		return id, nil, nil
+	}
+	d, err := store.DecodeDoc(data[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, d, nil
+}
+
+// EncodeDocList packs a document list — the find response body.
+func EncodeDocList(docs []*store.Doc) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(docs)))
+	for _, d := range docs {
+		putBytes(&buf, store.EncodeDoc(d))
+	}
+	return buf.Bytes()
+}
+
+// DecodeDocList unpacks EncodeDocList.
+func DecodeDocList(data []byte) ([]*store.Doc, error) {
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: doc list count: %w", err)
+	}
+	if n > uint64(rd.Len()) {
+		return nil, fmt.Errorf("cluster: doc list count %d exceeds remaining bytes", n)
+	}
+	docs := make([]*store.Doc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		raw, err := getBytes(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: doc %d: %w", i, err)
+		}
+		d, err := store.DecodeDoc(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: doc %d: %w", i, err)
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// EncodeSnapshot packs (id, doc) pairs — the snapshot response body and
+// the full-resync pull payload.
+func EncodeSnapshot(ids []int64, docs []*store.Doc) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(ids)))
+	for i, id := range ids {
+		var idb [8]byte
+		binary.LittleEndian.PutUint64(idb[:], uint64(id))
+		buf.Write(idb[:])
+		putBytes(&buf, store.EncodeDoc(docs[i]))
+	}
+	return buf.Bytes()
+}
+
+// DecodeSnapshot unpacks EncodeSnapshot.
+func DecodeSnapshot(data []byte) ([]int64, []*store.Doc, error) {
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: snapshot count: %w", err)
+	}
+	if n > uint64(rd.Len()) {
+		return nil, nil, fmt.Errorf("cluster: snapshot count %d exceeds remaining bytes", n)
+	}
+	ids := make([]int64, 0, n)
+	docs := make([]*store.Doc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var idb [8]byte
+		if _, err := io.ReadFull(rd, idb[:]); err != nil {
+			return nil, nil, fmt.Errorf("cluster: snapshot id %d: %w", i, err)
+		}
+		raw, err := getBytes(rd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: snapshot doc %d: %w", i, err)
+		}
+		d, err := store.DecodeDoc(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: snapshot doc %d: %w", i, err)
+		}
+		ids = append(ids, int64(binary.LittleEndian.Uint64(idb[:])))
+		docs = append(docs, d)
+	}
+	return ids, docs, nil
+}
+
+// EncodeDistinct packs a distinct-count map in sorted key order, so the
+// encoding is deterministic.
+func EncodeDistinct(m map[string]int64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(keys)))
+	for _, k := range keys {
+		putString(&buf, k)
+		putUvarint(&buf, uint64(m[k]))
+	}
+	return buf.Bytes()
+}
+
+// DecodeDistinct unpacks EncodeDistinct.
+func DecodeDistinct(data []byte) (map[string]int64, error) {
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: distinct count: %w", err)
+	}
+	if n > uint64(rd.Len()) {
+		return nil, fmt.Errorf("cluster: distinct count %d exceeds remaining bytes", n)
+	}
+	out := make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := getString(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: distinct key %d: %w", i, err)
+		}
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: distinct value %d: %w", i, err)
+		}
+		out[k] = int64(v)
+	}
+	return out, nil
+}
+
+// EncodeStats packs shard stats as a document through the store codec.
+func EncodeStats(st store.Stats) []byte {
+	d := store.NewDoc().
+		Set("ns", store.Str(st.NS)).
+		Set("count", store.Num(st.Count)).
+		Set("numExtents", store.Num(int64(st.NumExtents))).
+		Set("nindexes", store.Num(int64(st.NIndexes))).
+		Set("lastExtentSize", store.Num(st.LastExtentSize)).
+		Set("totalIndexSize", store.Num(st.TotalIndexSize)).
+		Set("dataSize", store.Num(st.DataSize)).
+		Set("avgObjSize", store.Num(st.AvgObjSize))
+	return store.EncodeDoc(d)
+}
+
+// DecodeStats unpacks EncodeStats.
+func DecodeStats(data []byte) (store.Stats, error) {
+	d, err := store.DecodeDoc(data)
+	if err != nil {
+		return store.Stats{}, err
+	}
+	num := func(path string) int64 {
+		v, _ := d.Path(path)
+		n, _ := v.Scalar().AsInt()
+		return n
+	}
+	return store.Stats{
+		NS:             d.PathString("ns"),
+		Count:          num("count"),
+		NumExtents:     int(num("numExtents")),
+		NIndexes:       int(num("nindexes")),
+		LastExtentSize: num("lastExtentSize"),
+		TotalIndexSize: num("totalIndexSize"),
+		DataSize:       num("dataSize"),
+		AvgObjSize:     num("avgObjSize"),
+	}, nil
+}
+
+// EncodeCreateIndex packs a create-index request body.
+func EncodeCreateIndex(name, path string, kind store.IndexKind) []byte {
+	var buf bytes.Buffer
+	putString(&buf, name)
+	putString(&buf, path)
+	putUvarint(&buf, uint64(kind))
+	return buf.Bytes()
+}
+
+// DecodeCreateIndex unpacks EncodeCreateIndex.
+func DecodeCreateIndex(data []byte) (name, path string, kind store.IndexKind, err error) {
+	rd := bytes.NewReader(data)
+	if name, err = getString(rd); err != nil {
+		return "", "", 0, fmt.Errorf("cluster: index name: %w", err)
+	}
+	if path, err = getString(rd); err != nil {
+		return "", "", 0, fmt.Errorf("cluster: index path: %w", err)
+	}
+	k, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("cluster: index kind: %w", err)
+	}
+	return name, path, store.IndexKind(k), nil
+}
+
+// --- buffer helpers ---------------------------------------------------
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func putBytes(buf *bytes.Buffer, p []byte) {
+	putUvarint(buf, uint64(len(p)))
+	buf.Write(p)
+}
+
+func getString(rd *bytes.Reader) (string, error) {
+	b, err := getBytes(rd)
+	return string(b), err
+}
+
+func getBytes(rd *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(rd.Len()) {
+		return nil, fmt.Errorf("length %d exceeds remaining bytes", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

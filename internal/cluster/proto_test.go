@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/dterr"
+	"repro/internal/record"
+	"repro/internal/store"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &Request{ID: 42, Op: OpFind, Shard: "dt.entity/3", MinGen: 17, Body: []byte("payload")}
+	out, err := DecodeRequest(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := &Response{ID: 7, Gen: 99, Body: []byte{1, 2, 3}}
+	out, err := DecodeResponse(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+// TestErrorWireRoundTrip sends every member of the dterr taxonomy through
+// the response codec and checks errors.Is still matches the sentinel on
+// the far side — the property the transport's typed degradation relies on.
+func TestErrorWireRoundTrip(t *testing.T) {
+	sentinels := map[dterr.Code]error{
+		dterr.CodeInvalidArgument:  dterr.ErrInvalidArgument,
+		dterr.CodeNotFound:         dterr.ErrNotFound,
+		dterr.CodeBusy:             dterr.ErrBusy,
+		dterr.CodeClosed:           dterr.ErrClosed,
+		dterr.CodeUnavailable:      dterr.ErrUnavailable,
+		dterr.CodeCanceled:         dterr.ErrCanceled,
+		dterr.CodeDeadlineExceeded: dterr.ErrDeadlineExceeded,
+		dterr.CodeInternal:         dterr.ErrInternal,
+	}
+	codes := dterr.Codes()
+	if len(codes) != len(sentinels) {
+		t.Fatalf("taxonomy has %d codes, test covers %d — extend the test", len(codes), len(sentinels))
+	}
+	for _, code := range codes {
+		in := &Response{ID: 1, Err: dterr.FromCode(code, "boom: "+string(code))}
+		out, err := DecodeResponse(in.Encode())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", code, err)
+		}
+		if out.Err == nil {
+			t.Fatalf("%s: error lost on the wire", code)
+		}
+		if !errors.Is(out.Err, sentinels[code]) {
+			t.Errorf("%s: decoded error does not match sentinel: %v", code, out.Err)
+		}
+		if dterr.CodeOf(out.Err) != code {
+			t.Errorf("%s: decoded code = %s", code, dterr.CodeOf(out.Err))
+		}
+		if out.Err.Message != "boom: "+string(code) {
+			t.Errorf("%s: message = %q", code, out.Err.Message)
+		}
+	}
+}
+
+func TestErrorWireUnknownCode(t *testing.T) {
+	in := &Response{Err: &dterr.Error{Code: "from_the_future", Message: "??"}}
+	out, err := DecodeResponse(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dterr.CodeOf(out.Err) != dterr.CodeInternal {
+		t.Fatalf("unknown code should degrade to internal, got %s", dterr.CodeOf(out.Err))
+	}
+}
+
+// TestFilterRoundTrip checks semantic equivalence: a decoded filter must
+// select the same documents as the original.
+func TestFilterRoundTrip(t *testing.T) {
+	c := store.NewCollection("dt.f", 0)
+	for _, row := range []struct {
+		name string
+		typ  string
+		n    int64
+	}{
+		{"alpha", "Movie", 3}, {"beta", "Actor", 7}, {"gamma", "Movie", 9}, {"alphabet", "Show", 1},
+	} {
+		c.Insert(store.NewDoc().
+			Set("name", store.Str(row.name)).
+			Set("type", store.Str(row.typ)).
+			Set("n", store.Num(row.n)))
+	}
+	filters := map[string]store.Filter{
+		"nil":      nil,
+		"all":      store.All{},
+		"eq":       store.EqStr("type", "Movie"),
+		"num":      store.Eq("n", record.Int(7)),
+		"contains": store.Contains("name", "pha"),
+		"prefix":   store.Prefix("name", "alpha"),
+		"exists":   store.Exists("type"),
+		"in":       store.In("type", record.String("Movie"), record.String("Show")),
+		"range":    store.Range("n", record.Int(2), record.Int(8)),
+		"and":      store.And{store.EqStr("type", "Movie"), store.Contains("name", "a")},
+		"or":       store.Or{store.EqStr("type", "Show"), store.EqStr("type", "Actor")},
+		"not":      store.Not{Inner: store.EqStr("type", "Movie")},
+		"nested":   store.And{store.Not{Inner: store.EqStr("type", "Actor")}, store.Or{store.Prefix("name", "al"), store.Eq("n", record.Int(9))}},
+	}
+	for name, f := range filters {
+		data, err := EncodeFilter(f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodeFilter(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		want := c.Find(f)
+		got := c.Find(back)
+		if len(want) != len(got) {
+			t.Fatalf("%s: original matched %d docs, decoded matched %d", name, len(want), len(got))
+		}
+		for i := range want {
+			if want[i].PathString("name") != got[i].PathString("name") {
+				t.Errorf("%s: doc %d: %q != %q", name, i, got[i].PathString("name"), want[i].PathString("name"))
+			}
+		}
+	}
+}
+
+func TestIDDocRoundTrip(t *testing.T) {
+	d := store.NewDoc().Set("k", store.Str("v"))
+	id, back, err := DecodeIDDoc(EncodeIDDoc(-5, d))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != -5 || back == nil || back.PathString("k") != "v" {
+		t.Fatalf("round trip mismatch: id=%d doc=%v", id, back)
+	}
+	id, back, err = DecodeIDDoc(EncodeIDDoc(8, nil))
+	if err != nil || id != 8 || back != nil {
+		t.Fatalf("nil-doc round trip: id=%d doc=%v err=%v", id, back, err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ids := []int64{1, 5, 9}
+	docs := []*store.Doc{
+		store.NewDoc().Set("a", store.Num(1)),
+		store.NewDoc().Set("b", store.Str("x")),
+		store.NewDoc().Set("c", store.Scalar(record.Bool(true))),
+	}
+	gotIDs, gotDocs, err := DecodeSnapshot(EncodeSnapshot(ids, docs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(gotIDs, ids) || len(gotDocs) != len(docs) {
+		t.Fatalf("round trip mismatch: %v %d docs", gotIDs, len(gotDocs))
+	}
+}
+
+func TestDistinctRoundTrip(t *testing.T) {
+	in := map[string]int64{"Movie": 3, "Actor": 12, "Show": 1}
+	out, err := DecodeDistinct(EncodeDistinct(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %v != %v", out, in)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := store.Stats{NS: "dt.entity", Count: 1200, NumExtents: 3, NIndexes: 8,
+		LastExtentSize: 1 << 20, TotalIndexSize: 4096, DataSize: 99999, AvgObjSize: 83}
+	out, err := DecodeStats(EncodeStats(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestCreateIndexRoundTrip(t *testing.T) {
+	name, path, kind, err := DecodeCreateIndex(EncodeCreateIndex("name_1", "name", store.HashIndex))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if name != "name_1" || path != "name" || kind != store.HashIndex {
+		t.Fatalf("round trip mismatch: %q %q %v", name, path, kind)
+	}
+}
+
+// TestTornFrame truncates an encoded frame at every length and checks the
+// reader reports an error rather than panicking or inventing data.
+func TestTornFrame(t *testing.T) {
+	var full bytes.Buffer
+	req := &Request{ID: 3, Op: OpFind, Shard: "dt.entity/0", Body: []byte("0123456789")}
+	w := bufio.NewWriter(&full)
+	if err := store.WriteFrame(w, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	whole := full.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		br := bufio.NewReader(bytes.NewReader(whole[:cut]))
+		if _, err := store.ReadFrame(br, MaxFrameLen); err == nil {
+			t.Fatalf("truncation at %d/%d bytes read a full frame", cut, len(whole))
+		}
+	}
+	// The intact frame still decodes.
+	br := bufio.NewReader(bytes.NewReader(whole))
+	frame, err := store.ReadFrame(br, MaxFrameLen)
+	if err != nil {
+		t.Fatalf("intact frame: %v", err)
+	}
+	back, err := DecodeRequest(frame)
+	if err != nil || back.Shard != req.Shard {
+		t.Fatalf("intact frame decode: %+v, %v", back, err)
+	}
+	// A flipped payload bit must fail the CRC.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[6] ^= 0x40
+	br = bufio.NewReader(bytes.NewReader(corrupt))
+	if _, err := store.ReadFrame(br, MaxFrameLen); err == nil {
+		t.Fatal("corrupt frame passed CRC")
+	}
+}
+
+// TestFrameLenBound checks the reader refuses a frame whose declared
+// length exceeds the wire maximum instead of allocating it.
+func TestFrameLenBound(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	br := bufio.NewReader(bytes.NewReader(huge))
+	if _, err := store.ReadFrame(br, MaxFrameLen); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add((&Request{ID: 1, Op: OpFind, Shard: "dt.entity/0", Body: []byte("x")}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err == nil {
+			// Whatever decoded must re-encode and decode to the same value.
+			back, err := DecodeRequest(req.Encode())
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(req, back) {
+				t.Fatalf("unstable round trip: %+v != %+v", back, req)
+			}
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add((&Response{ID: 1, Gen: 2, Body: []byte("x")}).Encode())
+	f.Add((&Response{ID: 1, Err: dterr.New(dterr.CodeBusy, "b")}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err == nil {
+			back, err := DecodeResponse(resp.Encode())
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(resp, back) {
+				t.Fatalf("unstable round trip: %+v != %+v", back, resp)
+			}
+		}
+	})
+}
+
+func FuzzDecodeFilter(f *testing.F) {
+	seed, _ := EncodeFilter(store.And{store.EqStr("type", "Movie"), store.Not{Inner: store.Exists("gone")}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeFilter(data) // must not panic
+	})
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/dterr"
+	"repro/internal/store"
+)
+
+// RemoteShard implements store.ShardBackend over the wire: one shard of a
+// namespace, hosted by a primary node and optionally mirrored by a
+// follower. Writes always go to the primary; reads prefer the follower
+// and carry the highest generation this client has observed, so a lagging
+// replica answers Busy and the read falls back to the primary —
+// read-your-writes without coordination.
+type RemoteShard struct {
+	ns       string
+	key      string
+	primary  Transport
+	follower Transport // nil when the shard has no replica
+
+	// lastGen is the highest shard generation observed on any response,
+	// i.e. the freshness this client is entitled to read.
+	lastGen atomic.Uint64
+}
+
+// NewRemoteShard binds shard idx of namespace ns to its transports.
+// follower may be nil.
+func NewRemoteShard(ns string, idx int, primary, follower Transport) *RemoteShard {
+	return &RemoteShard{ns: ns, key: ShardKey(ns, idx), primary: primary, follower: follower}
+}
+
+// NS implements store.ShardBackend.
+func (r *RemoteShard) NS() string { return r.ns }
+
+// observe folds a response generation into the freshness watermark.
+func (r *RemoteShard) observe(gen uint64) {
+	for {
+		cur := r.lastGen.Load()
+		if gen <= cur || r.lastGen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// callPrimary sends a request to the primary, surfacing the node's typed
+// error when present and tracking the generation watermark.
+func (r *RemoteShard) callPrimary(ctx context.Context, op byte, body []byte) (*Response, error) {
+	resp, err := r.primary.Call(ctx, &Request{Op: op, Shard: r.key, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	r.observe(resp.Gen)
+	return resp, nil
+}
+
+// callRead sends a read to the follower first (fenced at the observed
+// generation) and falls back to the primary on any follower failure —
+// lagging replica, connection refused, decode error. Context errors are
+// not retried: the caller's deadline applies to the whole read.
+func (r *RemoteShard) callRead(ctx context.Context, op byte, body []byte) (*Response, error) {
+	if r.follower != nil {
+		resp, err := r.follower.Call(ctx, &Request{Op: op, Shard: r.key, MinGen: r.lastGen.Load(), Body: body})
+		if err == nil && resp.Err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, dterr.FromContext(ctx.Err())
+		}
+	}
+	return r.callPrimary(ctx, op, body)
+}
+
+// Insert implements store.ShardBackend.
+func (r *RemoteShard) Insert(ctx context.Context, d *store.Doc) (int64, error) {
+	resp, err := r.callPrimary(ctx, OpInsert, store.EncodeDoc(d))
+	if err != nil {
+		return 0, err
+	}
+	id, n := binary.Uvarint(resp.Body)
+	if n <= 0 {
+		return 0, dterr.New(dterr.CodeInternal, "cluster: malformed insert response")
+	}
+	return int64(id), nil
+}
+
+// Update implements store.ShardBackend.
+func (r *RemoteShard) Update(ctx context.Context, id int64, d *store.Doc) (bool, error) {
+	resp, err := r.callPrimary(ctx, OpUpdate, EncodeIDDoc(id, d))
+	if err != nil {
+		return false, err
+	}
+	return boolFromBody(resp.Body)
+}
+
+// Delete implements store.ShardBackend.
+func (r *RemoteShard) Delete(ctx context.Context, id int64) (bool, error) {
+	resp, err := r.callPrimary(ctx, OpDelete, EncodeIDDoc(id, nil))
+	if err != nil {
+		return false, err
+	}
+	return boolFromBody(resp.Body)
+}
+
+// Find implements store.ShardBackend.
+func (r *RemoteShard) Find(ctx context.Context, filter store.Filter) ([]*store.Doc, error) {
+	body, err := EncodeFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.callRead(ctx, OpFind, body)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDocList(resp.Body)
+}
+
+// Count implements store.ShardBackend.
+func (r *RemoteShard) Count(ctx context.Context) (int64, error) {
+	resp, err := r.callRead(ctx, OpCount, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, w := binary.Uvarint(resp.Body)
+	if w <= 0 {
+		return 0, dterr.New(dterr.CodeInternal, "cluster: malformed count response")
+	}
+	return int64(n), nil
+}
+
+// CountWhere implements store.ShardBackend.
+func (r *RemoteShard) CountWhere(ctx context.Context, filter store.Filter) (int64, error) {
+	body, err := EncodeFilter(filter)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.callRead(ctx, OpCountWhere, body)
+	if err != nil {
+		return 0, err
+	}
+	n, w := binary.Uvarint(resp.Body)
+	if w <= 0 {
+		return 0, dterr.New(dterr.CodeInternal, "cluster: malformed count response")
+	}
+	return int64(n), nil
+}
+
+// Distinct implements store.ShardBackend.
+func (r *RemoteShard) Distinct(ctx context.Context, path string) (map[string]int64, error) {
+	var buf bytes.Buffer
+	putString(&buf, path)
+	resp, err := r.callRead(ctx, OpDistinct, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDistinct(resp.Body)
+}
+
+// Stats implements store.ShardBackend. Stats go to the primary: a
+// follower replays documents without rebuilding indexes, so only the
+// primary's index and extent accounting is authoritative.
+func (r *RemoteShard) Stats(ctx context.Context) (store.Stats, error) {
+	resp, err := r.callPrimary(ctx, OpStats, nil)
+	if err != nil {
+		return store.Stats{}, err
+	}
+	return DecodeStats(resp.Body)
+}
+
+// Snapshot implements store.ShardBackend.
+func (r *RemoteShard) Snapshot(ctx context.Context) ([]int64, []*store.Doc, error) {
+	resp, err := r.callRead(ctx, OpSnapshot, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeSnapshot(resp.Body)
+}
+
+// CreateIndex implements store.ShardBackend.
+func (r *RemoteShard) CreateIndex(ctx context.Context, name, path string, kind store.IndexKind) error {
+	_, err := r.callPrimary(ctx, OpCreateIndex, EncodeCreateIndex(name, path, kind))
+	return err
+}
+
+// CreateTextIndex implements store.ShardBackend.
+func (r *RemoteShard) CreateTextIndex(ctx context.Context, path string) error {
+	var buf bytes.Buffer
+	putString(&buf, path)
+	_, err := r.callPrimary(ctx, OpCreateTextIndex, buf.Bytes())
+	return err
+}
+
+// Ping round-trips an OpPing through the primary transport.
+func (r *RemoteShard) Ping(ctx context.Context) error {
+	resp, err := r.primary.Call(ctx, &Request{Op: OpPing, Shard: r.key})
+	if err != nil {
+		return err
+	}
+	if resp.Err != nil {
+		return resp.Err
+	}
+	return nil
+}
+
+func boolFromBody(body []byte) (bool, error) {
+	if len(body) != 1 {
+		return false, fmt.Errorf("cluster: malformed bool response (%d bytes)", len(body))
+	}
+	return body[0] == 1, nil
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dterr"
+	"repro/internal/store"
+)
+
+// Transport carries one request to a node and returns its response.
+// Implementations classify every failure under the dterr taxonomy:
+// context cancellation and deadlines map through dterr.FromContext, and
+// connection-level failures (refused, reset, timed out on the socket)
+// map to CodeBusy — the caller's cue to degrade or retry elsewhere.
+type Transport interface {
+	Call(ctx context.Context, req *Request) (*Response, error)
+	Close() error
+}
+
+// DefaultCallTimeout bounds a call whose context carries no deadline.
+const DefaultCallTimeout = 10 * time.Second
+
+// maxIdleConns bounds the per-transport connection pool. Fan-out across
+// shards drives a handful of concurrent calls per node; beyond that,
+// extra connections are opened and discarded.
+const maxIdleConns = 4
+
+// tcpConn is one pooled connection with its buffered endpoints.
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// TCPTransport speaks the wire protocol to one node address over pooled
+// TCP connections. Requests on one connection are strictly sequential
+// (write frame, read frame), so concurrency comes from the pool: each
+// in-flight call owns a connection. Safe for concurrent use.
+type TCPTransport struct {
+	addr    string
+	timeout time.Duration
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []*tcpConn
+	closed bool
+}
+
+// Dial creates a transport for addr. Connections are opened lazily, per
+// call, so Dial itself cannot fail; timeout 0 selects DefaultCallTimeout
+// for calls without a context deadline.
+func Dial(addr string, timeout time.Duration) *TCPTransport {
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	return &TCPTransport{addr: addr, timeout: timeout}
+}
+
+// Addr returns the node address this transport dials.
+func (t *TCPTransport) Addr() string { return t.addr }
+
+// Call implements Transport. The context deadline (or the transport's
+// default timeout) becomes the socket deadline for the whole exchange.
+func (t *TCPTransport) Call(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	req.ID = t.nextID.Add(1)
+	conn, err := t.acquire(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, dterr.FromContext(ctx.Err())
+		}
+		return nil, dterr.Wrapf(dterr.CodeBusy, err, "cluster: dial %s", t.addr)
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(t.timeout)
+	}
+	resp, err := t.exchange(conn, req, deadline)
+	if err != nil {
+		conn.c.Close()
+		if ctx.Err() != nil {
+			return nil, dterr.FromContext(ctx.Err())
+		}
+		return nil, dterr.Wrapf(dterr.CodeBusy, err, "cluster: call %s", t.addr)
+	}
+	t.release(conn)
+	return resp, nil
+}
+
+func (t *TCPTransport) exchange(conn *tcpConn, req *Request, deadline time.Time) (*Response, error) {
+	if err := conn.c.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := store.WriteFrame(conn.w, req.Encode()); err != nil {
+		return nil, err
+	}
+	if err := conn.w.Flush(); err != nil {
+		return nil, err
+	}
+	frame, err := store.ReadFrame(conn.r, MaxFrameLen)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, dterr.Newf(dterr.CodeInternal, "cluster: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// acquire returns an idle pooled connection or dials a fresh one.
+func (t *TCPTransport) acquire(ctx context.Context) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, dterr.New(dterr.CodeClosed, "cluster: transport closed")
+	}
+	if n := len(t.idle); n > 0 {
+		conn := t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", t.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+// release returns a healthy connection to the pool, or closes it when the
+// pool is full or the transport closed meanwhile.
+func (t *TCPTransport) release(conn *tcpConn) {
+	t.mu.Lock()
+	if !t.closed && len(t.idle) < maxIdleConns {
+		t.idle = append(t.idle, conn)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	conn.c.Close()
+}
+
+// Close implements Transport, closing every pooled connection. In-flight
+// calls finish on their own connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	idle := t.idle
+	t.idle = nil
+	t.closed = true
+	t.mu.Unlock()
+	for _, conn := range idle {
+		conn.c.Close()
+	}
+	return nil
+}
+
+// Loopback is an in-process transport that still round-trips every
+// request and response through the wire codec, so tests exercise the full
+// protocol stack — encoding, dispatch, error mapping — without sockets.
+type Loopback struct {
+	Node *Node
+}
+
+// Call implements Transport.
+func (l Loopback) Call(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, dterr.FromContext(err)
+	}
+	decoded, err := DecodeRequest(req.Encode())
+	if err != nil {
+		return nil, dterr.Wrap(dterr.CodeInternal, err)
+	}
+	resp, err := DecodeResponse(l.Node.Handle(decoded).Encode())
+	if err != nil {
+		return nil, dterr.Wrap(dterr.CodeInternal, err)
+	}
+	return resp, nil
+}
+
+// Close implements Transport.
+func (Loopback) Close() error { return nil }

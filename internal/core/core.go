@@ -148,6 +148,18 @@ func New(cfg Config) *Tamer {
 // Config returns the effective (defaulted) configuration.
 func (t *Tamer) Config() Config { return t.cfg }
 
+// SetStores replaces both document stores and repoints the query engine at
+// them — the cluster entry point, called once after New (before Run or any
+// query) with routers whose shard backends live in remote dtnode processes.
+// Not safe to call concurrently with pipeline or query activity.
+func (t *Tamer) SetStores(instances, entities *store.Sharded) {
+	t.Instances = instances
+	t.Entities = entities
+	t.Query.Instances = instances
+	t.Query.Entities = entities
+	t.entityGen.Add(1)
+}
+
 // Stages returns the per-stage reports of the last Run.
 func (t *Tamer) Stages() []StageReport { return t.stages }
 
@@ -266,18 +278,32 @@ func (t *Tamer) parseFragments(ctx context.Context, frags []datagen.Fragment, wo
 // text index over dt.instance.text that serves substring queries
 // (TextFeeds and friends). The text index is an accelerator outside the
 // secondary-index set, so the Table I/II nindexes counts are unchanged.
-func (t *Tamer) indexStores() {
-	t.Instances.EnsureIndex("source_url_1", "source_url", store.HashIndex)
-	t.Instances.EnsureTextIndex("text")
-
-	t.Entities.EnsureIndex("name_1", "name", store.BTreeIndex)
-	t.Entities.EnsureIndex("type_1", "type", store.HashIndex)
-	t.Entities.EnsureIndex("source_url_1", "source_url", store.HashIndex)
-	t.Entities.EnsureIndex("price_1", "attributes.price", store.HashIndex)
-	t.Entities.EnsureIndex("gross_1", "attributes.gross", store.HashIndex)
-	t.Entities.EnsureIndex("date_1", "attributes.date", store.HashIndex)
-	t.Entities.EnsureIndex("schedule_1", "attributes.schedule", store.HashIndex)
-	t.Entities.EnsureIndex("award_1", "attributes.award_winning", store.HashIndex)
+func (t *Tamer) indexStores(ctx context.Context) error {
+	if err := t.Instances.EnsureIndexCtx(ctx, "source_url_1", "source_url", store.HashIndex); err != nil {
+		return err
+	}
+	if err := t.Instances.EnsureTextIndexCtx(ctx, "text"); err != nil {
+		return err
+	}
+	entityIndexes := []struct {
+		name, path string
+		kind       store.IndexKind
+	}{
+		{"name_1", "name", store.BTreeIndex},
+		{"type_1", "type", store.HashIndex},
+		{"source_url_1", "source_url", store.HashIndex},
+		{"price_1", "attributes.price", store.HashIndex},
+		{"gross_1", "attributes.gross", store.HashIndex},
+		{"date_1", "attributes.date", store.HashIndex},
+		{"schedule_1", "attributes.schedule", store.HashIndex},
+		{"award_1", "attributes.award_winning", store.HashIndex},
+	}
+	for _, ix := range entityIndexes {
+		if err := t.Entities.EnsureIndexCtx(ctx, ix.name, ix.path, ix.kind); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ImportFTables generates the structured sources and integrates each into
@@ -452,7 +478,10 @@ func (t *Tamer) EntityTypeCounts(ctx context.Context) ([]TypeCount, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}
-	counts := t.Entities.Distinct("type")
+	counts, err := t.Entities.DistinctCtx(ctx, "type")
+	if err != nil {
+		return nil, err
+	}
 	out := make([]TypeCount, 0, len(counts))
 	for typ, n := range counts {
 		out = append(out, TypeCount{Type: typ, Count: n})
@@ -472,6 +501,19 @@ func (t *Tamer) InstanceStats() store.Stats { return t.Instances.Stats() }
 // EntityStats returns the WEBENTITIES namespace stats (Table II).
 func (t *Tamer) EntityStats() store.Stats { return t.Entities.Stats() }
 
+// InstanceStatsCtx is InstanceStats with context propagation and
+// remote-failure reporting — in cluster mode a dead shard node surfaces
+// as an error here instead of silently zeroed stats.
+func (t *Tamer) InstanceStatsCtx(ctx context.Context) (store.Stats, error) {
+	return t.Instances.StatsCtx(ctx)
+}
+
+// EntityStatsCtx is EntityStats with context propagation and
+// remote-failure reporting.
+func (t *Tamer) EntityStatsCtx(ctx context.Context) (store.Stats, error) {
+	return t.Entities.StatsCtx(ctx)
+}
+
 // TopDiscussed runs the Table IV query; k <= 0 returns the full ranking.
 // The full ranking is cached against the entity-store generation, so
 // repeated queries between fragment applies cost one map copy; the
@@ -482,7 +524,10 @@ func (t *Tamer) TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, erro
 		return nil, dterr.FromContext(err)
 	}
 	gen := t.entityGen.Load()
-	rows := t.top.get(gen, func() []fuse.Discussed { return t.Query.TopDiscussed(0) })
+	rows, err := t.top.get(gen, func() ([]fuse.Discussed, error) { return t.Query.TopDiscussed(ctx, 0) })
+	if err != nil {
+		return nil, err
+	}
 	if k > 0 && len(rows) > k {
 		rows = rows[:k]
 	}
@@ -497,7 +542,7 @@ func (t *Tamer) QueryWebText(ctx context.Context, show string) (*record.Record, 
 	if show == "" {
 		return nil, dterr.New(dterr.CodeInvalidArgument, "empty show name")
 	}
-	return t.Query.WebTextRecord(show), nil
+	return t.Query.WebTextRecord(ctx, show)
 }
 
 // QueryFused runs the Table VI query: the web-text view enriched with the
@@ -549,7 +594,7 @@ func (t *Tamer) FindEntities(ctx context.Context, query string) ([]*store.Doc, e
 	if err != nil {
 		return nil, dterr.Wrap(dterr.CodeInvalidArgument, err)
 	}
-	return t.Entities.Find(filter), nil
+	return t.Entities.FindCtx(ctx, filter)
 }
 
 // CheapestShows ranks consolidated shows by price ascending — the "best

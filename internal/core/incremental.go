@@ -30,15 +30,21 @@ func (t *Tamer) ApplyFragments(ctx context.Context, frags []datagen.Fragment, wo
 	if len(frags) == 0 {
 		return 0, 0, nil
 	}
-	t.indexStores() // idempotent; covers live use on a never-Run pipeline
+	if err := t.indexStores(ctx); err != nil { // idempotent; covers live use on a never-Run pipeline
+		return 0, 0, err
+	}
 	results, err := t.parseFragments(ctx, frags, workers)
 	if err != nil {
 		return 0, 0, err
 	}
 	for _, r := range results {
-		t.Instances.Insert(r.instance)
+		if _, _, err := t.Instances.InsertCtx(ctx, r.instance); err != nil {
+			return 0, entities, err
+		}
 		for _, d := range r.entities {
-			t.Entities.Insert(d)
+			if _, _, err := t.Entities.InsertCtx(ctx, d); err != nil {
+				return 0, entities, err
+			}
 			entities++
 		}
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/dterr"
 	"repro/internal/store"
 )
 
@@ -27,12 +29,20 @@ func (t *Tamer) SaveStores(dir string) error {
 
 func saveSharded(dir, prefix string, s *store.Sharded) error {
 	for i := 0; i < s.NumShards(); i++ {
+		coll := s.Shard(i)
+		if coll == nil {
+			// Remote shards own their documents; their node is the place to
+			// snapshot them. The coordinator cannot checkpoint what it does
+			// not hold.
+			return dterr.Newf(dterr.CodeUnavailable,
+				"core: store snapshots unavailable: %s shard %d is remote", s.NS(), i)
+		}
 		path := filepath.Join(dir, fmt.Sprintf("%s-%d.snap", prefix, i))
 		f, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("core: creating %s: %w", path, err)
 		}
-		if err := s.Shard(i).WriteSnapshot(f); err != nil {
+		if err := coll.WriteSnapshot(f); err != nil {
 			f.Close()
 			return fmt.Errorf("core: writing %s: %w", path, err)
 		}
@@ -60,7 +70,9 @@ func (t *Tamer) LoadStores(dir string) error {
 	t.Entities = ent
 	t.Query.Instances = inst
 	t.Query.Entities = ent
-	t.indexStores()
+	if err := t.indexStores(context.Background()); err != nil {
+		return err
+	}
 	// The entity store changed wholesale: retire any memoized ranking.
 	t.entityGen.Add(1)
 	return nil

@@ -79,13 +79,19 @@ type topCache struct {
 }
 
 // get returns the cached full ranking for gen, or computes and caches it.
-func (tc *topCache) get(gen uint64, compute func() []fuse.Discussed) []fuse.Discussed {
+// A compute error is returned without caching, so a transient remote-shard
+// failure never poisons the ranking for later queries.
+func (tc *topCache) get(gen uint64, compute func() ([]fuse.Discussed, error)) ([]fuse.Discussed, error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if !tc.ok || tc.gen != gen {
-		tc.rows = compute()
+		rows, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		tc.rows = rows
 		tc.gen = gen
 		tc.ok = true
 	}
-	return append([]fuse.Discussed(nil), tc.rows...)
+	return append([]fuse.Discussed(nil), tc.rows...), nil
 }

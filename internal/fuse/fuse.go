@@ -5,6 +5,7 @@
 package fuse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,21 +32,26 @@ type Engine struct {
 // TopDiscussed ranks award-winning movies/shows by mention count in the
 // entity store — the Table IV query. Ties break lexicographically. The
 // aggregation runs shard-local maps in parallel and merges them, so the
-// scan cost is bounded by the largest shard.
-func (e *Engine) TopDiscussed(k int) []Discussed {
+// scan cost is bounded by the largest shard; with remote shards it is
+// bounded by the slowest shard's round trip.
+func (e *Engine) TopDiscussed(ctx context.Context, k int) ([]Discussed, error) {
 	parts := make([]map[string]*Discussed, e.Entities.NumShards())
-	e.Entities.ForEachShard(func(shard int, c *store.Collection) {
+	err := e.Entities.ForEachShard(func(shard int, b store.ShardBackend) error {
+		_, docs, err := b.Snapshot(ctx)
+		if err != nil {
+			return err
+		}
 		counts := map[string]*Discussed{}
-		c.Scan(func(_ int64, d *store.Doc) bool {
+		for _, d := range docs {
 			if d.PathString("type") != "Movie" {
-				return true
+				continue
 			}
 			if d.PathString("attributes.award_winning") != "true" {
-				return true
+				continue
 			}
 			name := textutil.Normalize(d.PathString("name"))
 			if name == "" {
-				return true
+				continue
 			}
 			dd, ok := counts[name]
 			if !ok {
@@ -53,10 +59,13 @@ func (e *Engine) TopDiscussed(k int) []Discussed {
 				counts[name] = dd
 			}
 			dd.Mentions++
-			return true
-		})
+		}
 		parts[shard] = counts
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	merged := map[string]*Discussed{}
 	for _, counts := range parts {
 		for name, d := range counts {
@@ -80,7 +89,7 @@ func (e *Engine) TopDiscussed(k int) []Discussed {
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 func displayName(s string) string {
@@ -99,11 +108,14 @@ func displayName(s string) string {
 // informative first — the demo surfaces the feed richest in box-office
 // detail. Relevance counts "grossed" spans, show mentions, and award
 // context; ties break toward longer, then lexicographically smaller feeds.
-func (e *Engine) TextFeeds(show string, limit int) []string {
+func (e *Engine) TextFeeds(ctx context.Context, show string, limit int) ([]string, error) {
 	// The Contains filter is served by the instance store's inverted text
 	// index when one exists, so this touches only candidate fragments
 	// instead of the whole corpus.
-	docs := e.Instances.Find(store.Contains("text", show))
+	docs, err := e.Instances.FindCtx(ctx, store.Contains("text", show))
+	if err != nil {
+		return nil, err
+	}
 	lowShow := strings.ToLower(show)
 	// Relevance is the best single sentence about the queried show:
 	// "grossed" amounts co-occurring with the show name dominate, then
@@ -153,21 +165,24 @@ func (e *Engine) TextFeeds(show string, limit int) []string {
 	for _, s := range scored {
 		feeds = append(feeds, s.feed)
 	}
-	return feeds
+	return feeds, nil
 }
 
 // WebTextRecord builds the Table V view: what the system knows about a show
 // from web text alone (SHOW_NAME and TEXT_FEED; no theaters, pricing or
 // schedules).
-func (e *Engine) WebTextRecord(show string) *record.Record {
+func (e *Engine) WebTextRecord(ctx context.Context, show string) (*record.Record, error) {
 	r := record.New()
 	r.Source = "webinstance"
 	r.Set("SHOW_NAME", record.String(show))
-	feeds := e.TextFeeds(show, 1)
+	feeds, err := e.TextFeeds(ctx, show, 1)
+	if err != nil {
+		return nil, err
+	}
 	if len(feeds) > 0 {
 		r.Set("TEXT_FEED", record.String(feeds[0]))
 	}
-	return r
+	return r, nil
 }
 
 // Enrich merges the structured record for the same entity into the web-text

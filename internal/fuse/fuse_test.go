@@ -1,6 +1,7 @@
 package fuse
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,11 @@ func buildStores(t *testing.T) *Engine {
 
 func TestTopDiscussed(t *testing.T) {
 	e := buildStores(t)
-	top := e.TopDiscussed(10)
+	ctx := context.Background()
+	top, err := e.TopDiscussed(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) != 2 {
 		t.Fatalf("top = %+v", top)
 	}
@@ -52,31 +57,38 @@ func TestTopDiscussed(t *testing.T) {
 	if top[1].Name != "Matilda" || top[1].Mentions != 3 {
 		t.Errorf("top[1] = %+v", top[1])
 	}
-	if got := e.TopDiscussed(1); len(got) != 1 {
-		t.Errorf("k=1 gave %d", len(got))
+	if got, err := e.TopDiscussed(ctx, 1); err != nil || len(got) != 1 {
+		t.Errorf("k=1 gave %d (err %v)", len(got), err)
 	}
 }
 
 func TestTextFeedsLongestFirst(t *testing.T) {
 	e := buildStores(t)
-	feeds := e.TextFeeds("Matilda", 0)
+	ctx := context.Background()
+	feeds, err := e.TextFeeds(ctx, "Matilda", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(feeds) != 2 {
 		t.Fatalf("feeds = %v", feeds)
 	}
 	if !strings.Contains(feeds[0], "960,998") {
 		t.Errorf("longest feed first: %q", feeds[0])
 	}
-	if got := e.TextFeeds("Matilda", 1); len(got) != 1 {
-		t.Errorf("limit = %d", len(got))
+	if got, err := e.TextFeeds(ctx, "Matilda", 1); err != nil || len(got) != 1 {
+		t.Errorf("limit = %d (err %v)", len(got), err)
 	}
-	if got := e.TextFeeds("Nonexistent", 0); len(got) != 0 {
-		t.Errorf("missing show feeds = %v", got)
+	if got, err := e.TextFeeds(ctx, "Nonexistent", 0); err != nil || len(got) != 0 {
+		t.Errorf("missing show feeds = %v (err %v)", got, err)
 	}
 }
 
 func TestWebTextRecordTableVShape(t *testing.T) {
 	e := buildStores(t)
-	r := e.WebTextRecord("Matilda")
+	r, err := e.WebTextRecord(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.GetString("SHOW_NAME") != "Matilda" {
 		t.Errorf("show_name = %q", r.GetString("SHOW_NAME"))
 	}
@@ -93,7 +105,10 @@ func TestWebTextRecordTableVShape(t *testing.T) {
 
 func TestEnrichAddsStructuredFields(t *testing.T) {
 	e := buildStores(t)
-	web := e.WebTextRecord("Matilda")
+	web, err := e.WebTextRecord(context.Background(), "Matilda")
+	if err != nil {
+		t.Fatal(err)
+	}
 	structured := record.New()
 	structured.Source = "ft00"
 	structured.Set("SHOW_NAME", record.String("Matilda"))

@@ -36,6 +36,7 @@ package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -216,7 +217,11 @@ func Open(ctx context.Context, t *core.Tamer, cfg Config) (*Ingester, error) {
 		// Still sweep epoch directories left by a crash mid-checkpoint.
 		dropStaleEpochs(cfg.Dir, ing.epoch)
 	} else if err := ing.checkpointState(nextSeq - 1); err != nil {
-		return nil, err
+		// Cluster mode cannot snapshot remote shard collections; the WAL
+		// (not truncated on this path) remains the recovery source.
+		if !errors.Is(err, dterr.ErrUnavailable) {
+			return nil, err
+		}
 	}
 	ing.wal, err = createWAL(walPath, nextSeq, cfg.Fsync)
 	if err != nil {
@@ -681,7 +686,10 @@ func (ing *Ingester) Close() error {
 	}
 	close(ing.done)
 	ing.wg.Wait()
-	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil {
+	// In cluster mode the shard collections are remote and cannot be
+	// snapshotted locally (SaveStores reports unavailable); the WAL then
+	// stays authoritative across restarts instead of the checkpoint.
+	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil && !errors.Is(cerr, dterr.ErrUnavailable) {
 		err = cerr
 	}
 	if cerr := ing.wal.close(); err == nil {

@@ -51,6 +51,8 @@ import (
 type Querier interface {
 	InstanceStats() store.Stats
 	EntityStats() store.Stats
+	InstanceStatsCtx(ctx context.Context) (store.Stats, error)
+	EntityStatsCtx(ctx context.Context) (store.Stats, error)
 	EntityTypeCounts(ctx context.Context) ([]core.TypeCount, error)
 	TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, error)
 	QueryWebText(ctx context.Context, show string) (*record.Record, error)
@@ -92,6 +94,12 @@ func New(q Querier) *Server { return NewLive(q, nil) }
 // interface would slip past the availability check.
 func NewLive(q Querier, ing Ingestor) *Server {
 	s := &Server{q: q, ing: ing, mux: http.NewServeMux()}
+
+	// Liveness probe: process is up and serving. Unversioned by convention
+	// (load balancers and the cluster's dtnode expose the same path).
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
 
 	// Versioned surface.
 	s.mux.HandleFunc("GET /v1/stats", s.v1Stats)
@@ -273,13 +281,19 @@ func docMap(d *store.Doc) map[string]string {
 // ---- /v1 read handlers -------------------------------------------------
 
 func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
-	if err := r.Context().Err(); err != nil {
-		writeErr(w, dterr.FromContext(err))
+	inst, err := s.q.InstanceStatsCtx(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ent, err := s.q.EntityStatsCtx(r.Context())
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	writeData(w, http.StatusOK, map[string]store.Stats{
-		"instance": s.q.InstanceStats(),
-		"entity":   s.q.EntityStats(),
+		"instance": inst,
+		"entity":   ent,
 	})
 }
 

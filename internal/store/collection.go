@@ -41,6 +41,13 @@ type Collection struct {
 	text map[string]*TextIndex
 }
 
+// NewCollection creates an empty collection for namespace ns with the given
+// extent size (0 selects DefaultExtentSize). Most callers go through DB or
+// NewSharded; dtnode shard hosts build collections directly.
+func NewCollection(ns string, extentSize int64) *Collection {
+	return newCollection(ns, extentSize)
+}
+
 func newCollection(ns string, extentSize int64) *Collection {
 	if extentSize <= 0 {
 		extentSize = DefaultExtentSize

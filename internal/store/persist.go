@@ -220,6 +220,12 @@ func (c *Collection) ReplayJournal(r io.Reader) (ReplayStats, error) {
 	}
 }
 
+// ApplyReplay inserts-or-replaces a document under a specific id — the
+// operation a replication follower applies for shipped insert and update
+// events, preserving the primary's id assignment so reads against either
+// replica return the same documents.
+func (c *Collection) ApplyReplay(id int64, doc *Doc) { c.applyReplay(id, doc) }
+
 // applyReplay inserts-or-replaces a document under a specific id.
 func (c *Collection) applyReplay(id int64, doc *Doc) {
 	c.mu.Lock()
@@ -410,6 +416,18 @@ func ReplayEventLog(r io.Reader, afterSeq uint64, fn func(seq uint64, kind byte,
 	}
 }
 
+// WriteFrame writes one CRC-protected frame (len(4) payload crc32(4)) — the
+// framing shared by snapshots, journals, event logs, and the cluster wire
+// protocol.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ReadFrame reads one CRC-protected frame written by WriteFrame. io.EOF at
+// a frame boundary is returned as io.EOF; a torn frame or CRC mismatch is
+// an error.
+func ReadFrame(br *bufio.Reader, maxLen uint32) ([]byte, error) {
+	return readFrameMax(br, maxLen)
+}
+
 // writeFrame writes len(4) payload crc32(4).
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -429,6 +447,16 @@ func writeFrame(w io.Writer, payload []byte) error {
 // readFrame reads one frame, validating length and CRC. io.EOF at a frame
 // boundary is returned as io.EOF; mid-frame EOF or CRC mismatch is an error.
 func readFrame(br *bufio.Reader) ([]byte, error) {
+	return readFrameMax(br, 1<<30)
+}
+
+// readFrameMax is readFrame with a caller-chosen payload ceiling, so a wire
+// peer cannot make the reader allocate an arbitrary buffer from a bogus
+// length header. maxLen <= 0 selects the persistence default.
+func readFrameMax(br *bufio.Reader, maxLen uint32) ([]byte, error) {
+	if maxLen == 0 {
+		maxLen = 1 << 30
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -437,7 +465,7 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("store: reading frame header: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > 1<<30 {
+	if n > maxLen {
 		return nil, fmt.Errorf("store: implausible frame length %d", n)
 	}
 	payload := make([]byte, n)

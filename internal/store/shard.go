@@ -1,56 +1,188 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
-// Sharded is a collection distributed over N shards by a hash of the shard
-// key path. Each shard is an independent Collection with its own extents and
-// indexes, as in the paper's distributed deployment; the router fans reads
-// out to all shards concurrently and merges results in shard order, so a
-// query pays for the slowest shard rather than the sum of all of them.
-// Sharded is safe for concurrent use.
-type Sharded struct {
-	ns      string
-	keyPath string
-	shards  []*Collection
+// ShardBackend is the operation set the sharded router needs from one
+// shard. A backend may be an in-process Collection (LocalShard) or a proxy
+// to a shard hosted in another process (internal/cluster's RemoteShard);
+// the router treats them uniformly, which is what lets one Sharded hold a
+// mix of local and remote shards. Every method takes a context and may
+// fail — for local shards the context is ignored and the error is always
+// nil, so the legacy no-error router methods below remain exact.
+type ShardBackend interface {
+	// NS returns the backend's namespace, which must match the router's.
+	NS() string
+	// Insert stores doc and returns its shard-local id.
+	Insert(ctx context.Context, d *Doc) (int64, error)
+	// Update replaces the document under id, reporting whether it existed.
+	Update(ctx context.Context, id int64, d *Doc) (bool, error)
+	// Delete removes the document under id, reporting whether it existed.
+	Delete(ctx context.Context, id int64) (bool, error)
+	// Find returns the documents matching filter in the shard's order.
+	Find(ctx context.Context, filter Filter) ([]*Doc, error)
+	// Count reports the shard's document count.
+	Count(ctx context.Context) (int64, error)
+	// CountWhere reports the count of documents matching filter.
+	CountWhere(ctx context.Context, filter Filter) (int64, error)
+	// Distinct returns distinct scalar values at path with frequencies.
+	Distinct(ctx context.Context, path string) (map[string]int64, error)
+	// Stats returns the shard's storage statistics.
+	Stats(ctx context.Context) (Stats, error)
+	// Snapshot returns the live (id, doc) pairs in insertion order — the
+	// point-in-time view scans iterate without holding shard locks.
+	Snapshot(ctx context.Context) (ids []int64, docs []*Doc, err error)
+	// CreateIndex ensures a secondary index named name over path.
+	CreateIndex(ctx context.Context, name, path string, kind IndexKind) error
+	// CreateTextIndex ensures an inverted text index over path.
+	CreateTextIndex(ctx context.Context, path string) error
 }
 
-// NewSharded creates a sharded namespace with n shards, hashing documents by
-// the scalar value at keyPath (documents missing the key hash to shard 0).
+// LocalShard adapts an in-process *Collection to the ShardBackend
+// interface. All methods ignore the context and never fail: the collection
+// is memory-resident and its own lock provides the concurrency contract.
+type LocalShard struct{ Coll *Collection }
+
+// NS implements ShardBackend.
+func (l LocalShard) NS() string { return l.Coll.NS() }
+
+// Insert implements ShardBackend.
+func (l LocalShard) Insert(_ context.Context, d *Doc) (int64, error) {
+	return l.Coll.Insert(d), nil
+}
+
+// Update implements ShardBackend.
+func (l LocalShard) Update(_ context.Context, id int64, d *Doc) (bool, error) {
+	return l.Coll.Update(id, d), nil
+}
+
+// Delete implements ShardBackend.
+func (l LocalShard) Delete(_ context.Context, id int64) (bool, error) {
+	return l.Coll.Delete(id), nil
+}
+
+// Find implements ShardBackend.
+func (l LocalShard) Find(_ context.Context, filter Filter) ([]*Doc, error) {
+	return l.Coll.Find(filter), nil
+}
+
+// Count implements ShardBackend.
+func (l LocalShard) Count(_ context.Context) (int64, error) { return l.Coll.Count(), nil }
+
+// CountWhere implements ShardBackend.
+func (l LocalShard) CountWhere(_ context.Context, filter Filter) (int64, error) {
+	return l.Coll.CountWhere(filter), nil
+}
+
+// Distinct implements ShardBackend.
+func (l LocalShard) Distinct(_ context.Context, path string) (map[string]int64, error) {
+	return l.Coll.Distinct(path), nil
+}
+
+// Stats implements ShardBackend.
+func (l LocalShard) Stats(_ context.Context) (Stats, error) { return l.Coll.Stats(), nil }
+
+// Snapshot implements ShardBackend.
+func (l LocalShard) Snapshot(_ context.Context) ([]int64, []*Doc, error) {
+	ids, docs := l.Coll.snapshot()
+	return ids, docs, nil
+}
+
+// CreateIndex implements ShardBackend.
+func (l LocalShard) CreateIndex(_ context.Context, name, path string, kind IndexKind) error {
+	l.Coll.EnsureIndex(name, path, kind)
+	return nil
+}
+
+// CreateTextIndex implements ShardBackend.
+func (l LocalShard) CreateTextIndex(_ context.Context, path string) error {
+	l.Coll.EnsureTextIndex(path)
+	return nil
+}
+
+// Sharded is a collection distributed over N shards by a hash of the shard
+// key path. Each shard is an independent backend — an in-process Collection
+// or a remote proxy — as in the paper's distributed deployment; the router
+// fans reads out to all shards concurrently and merges results in shard
+// order, so a query pays for the slowest shard rather than the sum of all
+// of them. Sharded is safe for concurrent use.
+type Sharded struct {
+	ns       string
+	keyPath  string
+	backends []ShardBackend
+	// route overrides the default FNV-1a mod-N key routing (nil keeps the
+	// default). Cluster deployments inject a consistent-hash ring here.
+	route func(key string) int
+}
+
+// NewSharded creates a sharded namespace with n in-process shards, hashing
+// documents by the scalar value at keyPath (documents missing the key hash
+// to shard 0).
 func NewSharded(ns, keyPath string, n int, extentSize int64) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{ns: ns, keyPath: keyPath}
+	backends := make([]ShardBackend, 0, n)
 	for i := 0; i < n; i++ {
-		s.shards = append(s.shards, newCollection(ns, extentSize))
+		backends = append(backends, LocalShard{Coll: newCollection(ns, extentSize)})
 	}
-	return s
+	return &Sharded{ns: ns, keyPath: keyPath, backends: backends}
+}
+
+// NewShardedBackends assembles a router over pre-built shard backends —
+// the cluster coordinator's entry point, where backends are remote proxies.
+// route overrides key routing when non-nil; every backend's namespace must
+// equal ns.
+func NewShardedBackends(ns, keyPath string, backends []ShardBackend, route func(key string) int) (*Sharded, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("store: sharded %q needs at least one backend", ns)
+	}
+	for i, b := range backends {
+		if b.NS() != ns {
+			return nil, fmt.Errorf("store: backend %d namespace %q does not match %q", i, b.NS(), ns)
+		}
+	}
+	return &Sharded{ns: ns, keyPath: keyPath, backends: backends, route: route}, nil
 }
 
 // NS returns the sharded namespace.
 func (s *Sharded) NS() string { return s.ns }
 
-// NumShards reports the shard count.
-func (s *Sharded) NumShards() int { return len(s.shards) }
+// KeyPath returns the dotted path whose value routes documents to shards.
+func (s *Sharded) KeyPath() string { return s.keyPath }
 
-// Shard returns the i'th shard, for shard-local operations.
-func (s *Sharded) Shard(i int) *Collection { return s.shards[i] }
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.backends) }
+
+// Backend returns the i'th shard backend.
+func (s *Sharded) Backend(i int) ShardBackend { return s.backends[i] }
+
+// Shard returns the i'th shard's in-process collection, for shard-local
+// operations. It returns nil when the shard is remote — callers needing
+// direct collection access (snapshot persistence, explain) must handle
+// that, typically by reporting the operation unavailable in cluster mode.
+func (s *Sharded) Shard(i int) *Collection {
+	if l, ok := s.backends[i].(LocalShard); ok {
+		return l.Coll
+	}
+	return nil
+}
 
 // ReplaceShard swaps in a new backing collection for shard i — the recovery
 // path after loading a snapshot. The collection's namespace must match.
 // Not safe to run concurrently with routed operations.
 func (s *Sharded) ReplaceShard(i int, c *Collection) error {
-	if i < 0 || i >= len(s.shards) {
-		return fmt.Errorf("store: shard %d out of range [0,%d)", i, len(s.shards))
+	if i < 0 || i >= len(s.backends) {
+		return fmt.Errorf("store: shard %d out of range [0,%d)", i, len(s.backends))
 	}
 	if c.NS() != s.ns {
 		return fmt.Errorf("store: shard namespace %q does not match %q", c.NS(), s.ns)
 	}
-	s.shards[i] = c
+	s.backends[i] = LocalShard{Coll: c}
 	return nil
 }
 
@@ -78,70 +210,122 @@ func (s *Sharded) shardFor(d *Doc) int {
 	if key == "" {
 		return 0
 	}
-	return int(fnv32a(key)) % len(s.shards)
+	if s.route != nil {
+		return s.route(key)
+	}
+	return int(fnv32a(key)) % len(s.backends)
 }
 
 // Insert routes doc to its shard and returns (shard, local id). Safe for
 // concurrent use: the shard's own lock serializes the insert. (An earlier
 // revision also bumped an unsynchronized per-shard assignment counter here
 // — the router now reports balance from the shards' own lock-protected
-// counts, so routed inserts touch no router state at all.)
+// counts, so routed inserts touch no router state at all.) Remote-shard
+// failures are not reportable through this signature; cluster callers use
+// InsertCtx.
 func (s *Sharded) Insert(d *Doc) (shard int, id int64) {
+	shard, id, _ = s.InsertCtx(context.Background(), d)
+	return shard, id
+}
+
+// InsertCtx routes doc to its shard and returns (shard, local id),
+// propagating the context and any remote failure.
+func (s *Sharded) InsertCtx(ctx context.Context, d *Doc) (shard int, id int64, err error) {
 	shard = s.shardFor(d)
-	return shard, s.shards[shard].Insert(d)
+	id, err = s.backends[shard].Insert(ctx, d)
+	return shard, id, err
 }
 
 // EnsureIndex creates the index on every shard.
 func (s *Sharded) EnsureIndex(name, path string, kind IndexKind) {
-	for _, sh := range s.shards {
-		sh.EnsureIndex(name, path, kind)
+	_ = s.EnsureIndexCtx(context.Background(), name, path, kind)
+}
+
+// EnsureIndexCtx creates the index on every shard, propagating failures.
+func (s *Sharded) EnsureIndexCtx(ctx context.Context, name, path string, kind IndexKind) error {
+	for _, b := range s.backends {
+		if err := b.CreateIndex(ctx, name, path, kind); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // EnsureTextIndex creates the inverted text index over path on every shard.
 func (s *Sharded) EnsureTextIndex(path string) {
-	for _, sh := range s.shards {
-		sh.EnsureTextIndex(path)
+	_ = s.EnsureTextIndexCtx(context.Background(), path)
+}
+
+// EnsureTextIndexCtx creates the inverted text index over path on every
+// shard, propagating failures.
+func (s *Sharded) EnsureTextIndexCtx(ctx context.Context, path string) error {
+	for _, b := range s.backends {
+		if err := b.CreateTextIndex(ctx, path); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // fanOut runs fn once per shard, concurrently when parallelism can
 // actually overlap the work (more than one shard and more than one
-// schedulable CPU), and returns after every call completed.
-func (s *Sharded) fanOut(fn func(i int, sh *Collection)) {
-	if len(s.shards) == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for i, sh := range s.shards {
-			fn(i, sh)
+// schedulable CPU), and returns after every call completed. The first
+// error in shard order is returned.
+func (s *Sharded) fanOut(fn func(i int, b ShardBackend) error) error {
+	if len(s.backends) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, b := range s.backends {
+			if err := fn(i, b); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	errs := make([]error, len(s.backends))
 	var wg sync.WaitGroup
-	wg.Add(len(s.shards))
-	for i, sh := range s.shards {
-		go func(i int, sh *Collection) {
+	wg.Add(len(s.backends))
+	for i, b := range s.backends {
+		go func(i int, b ShardBackend) {
 			defer wg.Done()
-			fn(i, sh)
-		}(i, sh)
+			errs[i] = fn(i, b)
+		}(i, b)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// ForEachShard visits every shard concurrently. fn runs in one goroutine
-// per shard and must be safe for concurrent use across shards; per-shard
-// aggregation with a merge afterwards is the intended pattern.
-func (s *Sharded) ForEachShard(fn func(shard int, c *Collection)) {
-	s.fanOut(fn)
+// ForEachShard visits every shard backend concurrently. fn runs in one
+// goroutine per shard and must be safe for concurrent use across shards;
+// per-shard aggregation with a merge afterwards is the intended pattern.
+// The first error in shard order is returned after every shard finished.
+func (s *Sharded) ForEachShard(fn func(shard int, b ShardBackend) error) error {
+	return s.fanOut(fn)
 }
 
 // Find fans the filter out to every shard concurrently and concatenates
 // results in shard order.
 func (s *Sharded) Find(filter Filter) []*Doc {
-	parts := make([][]*Doc, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		parts[i] = sh.Find(filter)
+	docs, _ := s.FindCtx(context.Background(), filter)
+	return docs
+}
+
+// FindCtx is Find with context propagation and remote-failure reporting.
+func (s *Sharded) FindCtx(ctx context.Context, filter Filter) ([]*Doc, error) {
+	parts := make([][]*Doc, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		docs, err := b.Find(ctx, filter)
+		parts[i] = docs
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	if len(parts) == 1 {
-		return parts[0]
+		return parts[0], nil
 	}
 	var total int
 	for _, p := range parts {
@@ -151,34 +335,57 @@ func (s *Sharded) Find(filter Filter) []*Doc {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // Count reports the total document count across shards.
 func (s *Sharded) Count() int64 {
-	counts := make([]int64, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		counts[i] = sh.Count()
+	n, _ := s.CountCtx(context.Background())
+	return n
+}
+
+// CountCtx is Count with context propagation and remote-failure reporting.
+func (s *Sharded) CountCtx(ctx context.Context) (int64, error) {
+	counts := make([]int64, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		c, err := b.Count(ctx)
+		counts[i] = c
+		return err
 	})
+	if err != nil {
+		return 0, err
+	}
 	var n int64
 	for _, c := range counts {
 		n += c
 	}
-	return n
+	return n, nil
 }
 
 // CountWhere reports the matching document count across shards, counting
 // every shard concurrently.
 func (s *Sharded) CountWhere(filter Filter) int64 {
-	counts := make([]int64, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		counts[i] = sh.CountWhere(filter)
+	n, _ := s.CountWhereCtx(context.Background(), filter)
+	return n
+}
+
+// CountWhereCtx is CountWhere with context propagation and remote-failure
+// reporting.
+func (s *Sharded) CountWhereCtx(ctx context.Context, filter Filter) (int64, error) {
+	counts := make([]int64, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		c, err := b.CountWhere(ctx, filter)
+		counts[i] = c
+		return err
 	})
+	if err != nil {
+		return 0, err
+	}
 	var n int64
 	for _, c := range counts {
 		n += c
 	}
-	return n
+	return n, nil
 }
 
 // Scan visits every document in shard order until fn returns false. The
@@ -186,32 +393,55 @@ func (s *Sharded) CountWhere(filter Filter) int64 {
 // serially — the callback needs no synchronization of its own and observes
 // a consistent point-in-time view of each shard.
 func (s *Sharded) Scan(fn func(shard int, id int64, d *Doc) bool) {
+	_ = s.ScanCtx(context.Background(), fn)
+}
+
+// ScanCtx is Scan with context propagation and remote-failure reporting.
+func (s *Sharded) ScanCtx(ctx context.Context, fn func(shard int, id int64, d *Doc) bool) error {
 	type snap struct {
 		ids  []int64
 		docs []*Doc
 	}
-	snaps := make([]snap, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		snaps[i].ids, snaps[i].docs = sh.snapshot()
+	snaps := make([]snap, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		ids, docs, err := b.Snapshot(ctx)
+		snaps[i] = snap{ids: ids, docs: docs}
+		return err
 	})
+	if err != nil {
+		return err
+	}
 	for i := range snaps {
 		for j, id := range snaps[i].ids {
 			if !fn(i, id, snaps[i].docs[j]) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // Distinct merges per-shard distinct-value counts, scanning shards
 // concurrently.
 func (s *Sharded) Distinct(path string) map[string]int64 {
-	parts := make([]map[string]int64, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		parts[i] = sh.Distinct(path)
+	m, _ := s.DistinctCtx(context.Background(), path)
+	return m
+}
+
+// DistinctCtx is Distinct with context propagation and remote-failure
+// reporting.
+func (s *Sharded) DistinctCtx(ctx context.Context, path string) (map[string]int64, error) {
+	parts := make([]map[string]int64, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		m, err := b.Distinct(ctx, path)
+		parts[i] = m
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	if len(parts) == 1 {
-		return parts[0]
+		return parts[0], nil
 	}
 	out := make(map[string]int64)
 	for _, part := range parts {
@@ -219,26 +449,39 @@ func (s *Sharded) Distinct(path string) map[string]int64 {
 			out[k] += v
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Stats merges shard stats into namespace-wide stats, the view the paper's
 // Tables I and II quote from the router. Shards are measured concurrently.
 func (s *Sharded) Stats() Stats {
-	parts := make([]Stats, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		parts[i] = sh.Stats()
+	st, _ := s.StatsCtx(context.Background())
+	return st
+}
+
+// StatsCtx is Stats with context propagation and remote-failure reporting.
+func (s *Sharded) StatsCtx(ctx context.Context) (Stats, error) {
+	parts := make([]Stats, len(s.backends))
+	err := s.fanOut(func(i int, b ShardBackend) error {
+		st, err := b.Stats(ctx)
+		parts[i] = st
+		return err
 	})
-	return Merge(s.ns, parts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Merge(s.ns, parts), nil
 }
 
 // Balance reports the per-shard document counts, for skew diagnostics.
 // Counts come from the shards' own lock-protected state, so the report is
 // exact even when shards were mutated directly (deletes, journal replay).
 func (s *Sharded) Balance() []int64 {
-	out := make([]int64, len(s.shards))
-	s.fanOut(func(i int, sh *Collection) {
-		out[i] = sh.Count()
+	out := make([]int64, len(s.backends))
+	_ = s.fanOut(func(i int, b ShardBackend) error {
+		c, err := b.Count(context.Background())
+		out[i] = c
+		return err
 	})
 	return out
 }
