@@ -153,10 +153,15 @@ func WithLiveFsync() Option { return func(o *options) { o.liveCfg.Fsync = true }
 // WithCluster runs the pipeline against a distributed shard cluster
 // described by the cluster.json file at path: both text namespaces are
 // routed to remote dtnode processes instead of in-process collections.
-// The batch run streams its inserts over the wire, so Open against a
-// cluster expects freshly started (empty) nodes; store snapshots
-// (SaveStores, live checkpoints) are unavailable in this mode and the
-// live WAL remains the recovery source.
+// Open probes the nodes first: against empty (cold) nodes the batch run
+// streams its inserts over the wire; against warm nodes — dtnodes started
+// with -data-dir that recovered state from their local WAL/checkpoints —
+// Open skips the batch ingest and only rebuilds the coordinator-local
+// derived state (schema, registry, fused view), so a coordinator restart
+// never re-applies the corpus. Checkpoints (SaveStores, live checkpoints)
+// delegate to the nodes' data directories; nodes running without
+// -data-dir answer unavailable and the live WAL remains the recovery
+// source, as before.
 func WithCluster(path string) Option { return func(o *options) { o.clusterPath = path } }
 
 // WithClusterConfig is WithCluster for an already-parsed configuration —
@@ -219,11 +224,35 @@ func Open(ctx context.Context, opts ...Option) (*Tamer, error) {
 	switch {
 	case o.skipRun:
 		// Legacy New path: the caller drives Run itself.
-	case o.liveDir != "" && cl == nil && live.HasCheckpoint(o.liveDir):
+	case cl != nil:
+		warm, err := cl.Warm(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if !warm {
+			// Cold cluster: the batch run streams its inserts over the wire.
+			if err := t.Run(ctx); err != nil {
+				return fail(err)
+			}
+			break
+		}
+		// Warm cluster: the nodes already hold both namespaces (recovered
+		// from their node-local WAL/checkpoints), so re-running batch
+		// ingest would duplicate every document. Rebuild only the
+		// coordinator-local derived state, which is deterministic and never
+		// touches the stores: the integrated schema and registry, then the
+		// consolidated fused view. A live checkpoint (when one exists)
+		// restores its own fused view in live.Open below, superseding this
+		// one.
+		if err := t.ImportFTables(ctx); err != nil {
+			return fail(err)
+		}
+		if err := t.CleanAndConsolidate(ctx); err != nil {
+			return fail(err)
+		}
+	case o.liveDir != "" && live.HasCheckpoint(o.liveDir):
 		// A checkpoint will replace the stores and fused view; only the
-		// schema/registry side of the batch run is still needed. Cluster
-		// mode never takes this path: remote shards cannot be restored
-		// from a local checkpoint, so the batch run repopulates them.
+		// schema/registry side of the batch run is still needed.
 		if err := t.ImportFTables(ctx); err != nil {
 			return fail(err)
 		}

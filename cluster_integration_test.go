@@ -7,6 +7,7 @@ package datatamer
 import (
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -99,6 +100,162 @@ type nodeJSON struct {
 type configJSON struct {
 	Shards int        `json:"shards"`
 	Nodes  []nodeJSON `json:"nodes"`
+}
+
+// waitDial polls a TCP address until it accepts connections — how the
+// tests wait for a restarted node to come back up on its fixed port.
+func waitDial(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("node never came back on %s", addr)
+}
+
+// TestClusterWarmRestart is the durability acceptance test: dtnodes run
+// with -data-dir, one is SIGKILLed mid-flight and restarted on the same
+// address and data directory, and every /v1 response must come back
+// byte-identical — the node recovered from its local WAL, the
+// coordinator's stale pooled connections were absorbed by the transport
+// retry, and a coordinator reopen against the warm cluster skips batch
+// ingest entirely.
+func TestClusterWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	bin := buildDTNode(t, dir)
+	ctx := context.Background()
+
+	boot := filepath.Join(dir, "boot.json")
+	writeClusterJSON(t, boot, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: "127.0.0.1:0", Shards: []int{0}},
+			{Name: "node-b", Addr: "127.0.0.1:0", Shards: []int{1}},
+		},
+	})
+	dataA := filepath.Join(dir, "data-a")
+	dataB := filepath.Join(dir, "data-b")
+	aPort := filepath.Join(dir, "a.port")
+	bPort := filepath.Join(dir, "b.port")
+	aCmd := startProc(t, bin, "-config", boot, "-name", "node-a", "-port-file", aPort, "-data-dir", dataA)
+	startProc(t, bin, "-config", boot, "-name", "node-b", "-port-file", bPort, "-data-dir", dataB)
+	addrA, addrB := waitAddr(t, aPort), waitAddr(t, bPort)
+
+	final := filepath.Join(dir, "cluster.json")
+	writeClusterJSON(t, final, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: addrA, Shards: []int{0}},
+			{Name: "node-b", Addr: addrB, Shards: []int{1}},
+		},
+	})
+
+	pipeOpts := []Option{WithFragments(200), WithSources(4), WithSeed(3)}
+	walDir := filepath.Join(dir, "wal")
+	local, err := Open(ctx, append([]Option{WithShards(2)}, pipeOpts...)...)
+	if err != nil {
+		t.Fatalf("local open: %v", err)
+	}
+	clusterOpts := append([]Option{WithCluster(final), WithLive(walDir)}, pipeOpts...)
+	clustered, err := Open(ctx, clusterOpts...)
+	if err != nil {
+		t.Fatalf("cluster open: %v", err)
+	}
+
+	lh, ch := local.Handler(), clustered.Handler()
+	paths := []string{
+		"/v1/stats",
+		"/v1/types",
+		"/v1/top?limit=5",
+		"/v1/cheapest?limit=5&offset=2",
+		"/v1/find?q=type%20%3D%20Movie&limit=3",
+	}
+	before := make(map[string]string, len(paths))
+	for _, path := range paths {
+		lc, lb := httpGet(t, lh, path)
+		cc, cb := httpGet(t, ch, path)
+		if lc != cc || lb != cb {
+			t.Fatalf("%s: pre-restart divergence: %d vs %d\nlocal:   %s\ncluster: %s", path, lc, cc, lb, cb)
+		}
+		before[path] = cb
+	}
+
+	// SIGKILL node-a: no shutdown checkpoint, so the restart below must
+	// recover the whole batch state from the startup checkpoint (empty)
+	// plus the per-write-flushed shard WAL.
+	aCmd.Process.Kill()
+	aCmd.Wait()
+	startProc(t, bin, "-config", final, "-name", "node-a", "-data-dir", dataA)
+	waitDial(t, addrA)
+
+	// Five sequential reads: the transport pools up to four idle
+	// connections, all now dead, and each must be absorbed by the one-shot
+	// retry instead of surfacing a busy error.
+	for i := 0; i < 5; i++ {
+		code, body := httpGet(t, ch, "/v1/stats")
+		if code != http.StatusOK {
+			t.Fatalf("stats %d after restart = %d (stale pooled conn leaked through): %s", i, code, body)
+		}
+		if body != before["/v1/stats"] {
+			t.Fatalf("stats %d after restart diverged\nbefore: %s\nafter:  %s", i, before["/v1/stats"], body)
+		}
+	}
+	for _, path := range paths {
+		if code, body := httpGet(t, ch, path); code != http.StatusOK || body != before[path] {
+			t.Fatalf("%s after restart = %d, body diverged from pre-kill state:\nbefore: %s\nafter:  %s",
+				path, code, before[path], body)
+		}
+	}
+
+	// The checkpoint API must now succeed in cluster mode: every shard
+	// delegates to its node's data directory.
+	if code, body := httpPost(t, ch, "/v1/flush?checkpoint=1", ""); code != http.StatusOK {
+		t.Fatalf("cluster checkpoint = %d (want 200 now that nodes have -data-dir): %s", code, body)
+	}
+
+	// Live ingest after the checkpoint, so the record rides the shard WAL
+	// tail (and the coordinator WAL) across the reopen below.
+	if code, body := httpPost(t, ch, "/v1/ingest/records",
+		`{"source":"api_feed","records":[{"SHOW_NAME":"Warm Skyline","THEATER":"Majestic","CHEAPEST_PRICE":58}]}`); code != http.StatusAccepted {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+	if code, body := httpPost(t, ch, "/v1/flush", ""); code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", code, body)
+	}
+	afterIngest := make(map[string]string, len(paths))
+	for _, path := range paths {
+		_, afterIngest[path] = httpGet(t, ch, path)
+	}
+
+	// Clean coordinator shutdown checkpoints the nodes, then a reopen
+	// against the warm cluster must skip batch ingest — re-running it
+	// would double every count — and serve identical responses.
+	if err := clustered.Close(); err != nil {
+		t.Fatalf("cluster close: %v", err)
+	}
+	reopened, err := Open(ctx, clusterOpts...)
+	if err != nil {
+		t.Fatalf("warm reopen: %v", err)
+	}
+	defer reopened.Close()
+	rh := reopened.Handler()
+	for _, path := range paths {
+		if code, body := httpGet(t, rh, path); code != http.StatusOK || body != afterIngest[path] {
+			t.Fatalf("%s after warm reopen = %d, diverged (batch ingest re-ran?)\nbefore: %s\nafter:  %s",
+				path, code, afterIngest[path], body)
+		}
+	}
+	if code, body := httpGet(t, rh, "/v1/show?name=Warm+Skyline"); code != http.StatusOK ||
+		!strings.Contains(body, "Majestic") {
+		t.Fatalf("ingested record lost across warm reopen = %d: %s", code, body)
+	}
 }
 
 // TestClusterTwoNodeEndToEnd is the full-stack acceptance test: two dtnode

@@ -33,7 +33,10 @@
 //     separate node processes over a CRC-framed binary protocol, with
 //     placement-compatible routing, optional read replicas behind a
 //     read-your-writes generation fence, and dterr codes preserved
-//     across the wire. Enabled with WithCluster or WithClusterConfig.
+//     across the wire. Nodes started with -data-dir persist each shard
+//     to a node-local WAL and checkpoint and recover it on restart;
+//     Open probes shard generations and skips batch ingest against a
+//     warm cluster. Enabled with WithCluster or WithClusterConfig.
 //
 // # Constructing a pipeline
 //

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -246,6 +247,43 @@ func Connect(cfg *Config, timeout time.Duration) (*Cluster, error) {
 		return nil, err
 	}
 	return cl, nil
+}
+
+// Warm probes every shard of both namespaces and reports whether the
+// cluster already holds data — i.e. the nodes recovered state from their
+// node-local WAL/checkpoints and the coordinator must not re-run batch
+// ingest against them. Warm means every shard's generation is positive
+// (any batch run bumps every shard at least once while building indexes);
+// all-zero generations mean a cold cluster. A mix is unsafe either way —
+// re-ingesting would duplicate the warm shards' documents — so it is an
+// error telling the operator to wipe the node data directories.
+func (c *Cluster) Warm(ctx context.Context) (bool, error) {
+	var warmShards, total int
+	for _, s := range []*store.Sharded{c.Instances, c.Entities} {
+		for i := 0; i < s.NumShards(); i++ {
+			rs, ok := s.Backend(i).(*RemoteShard)
+			if !ok {
+				continue
+			}
+			info, err := rs.Info(ctx)
+			if err != nil {
+				return false, fmt.Errorf("cluster: probing %s shard %d: %w", s.NS(), i, err)
+			}
+			total++
+			if info.Gen > 0 {
+				warmShards++
+			}
+		}
+	}
+	if warmShards == 0 {
+		return false, nil
+	}
+	if warmShards < total {
+		return false, fmt.Errorf(
+			"cluster: %d of %d shards hold data while the rest are empty; wipe the node data directories (or restore the missing ones) before reconnecting",
+			warmShards, total)
+	}
+	return true, nil
 }
 
 // Close closes every transport.

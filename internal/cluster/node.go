@@ -35,12 +35,15 @@ type repEvent struct {
 // generation, and the retained replication log. gen counts mutations;
 // every write increments it, and the assigned value doubles as the
 // replication sequence number, so "follower applied seq G" and "follower
-// is current through generation G" are the same statement.
+// is current through generation G" are the same statement. When the node
+// runs with a data directory, dur mirrors every retained event to a
+// node-local WAL under the same sequence numbers.
 type hostedShard struct {
 	mu     sync.Mutex
 	coll   *store.Collection
 	gen    uint64
 	events []repEvent
+	dur    *shardStore // nil when the node runs without -data-dir
 }
 
 // view returns the collection and generation under one lock acquisition.
@@ -52,17 +55,24 @@ func (h *hostedShard) view() (*store.Collection, uint64) {
 
 // logLocked retains one document mutation event. Must hold h.mu, after
 // the mutation was applied and h.gen incremented.
-func (h *hostedShard) logLocked(kind byte, id int64, d *store.Doc) {
-	h.logRawLocked(kind, EncodeIDDoc(id, d))
+func (h *hostedShard) logLocked(kind byte, id int64, d *store.Doc) error {
+	return h.logRawLocked(kind, EncodeIDDoc(id, d))
 }
 
-// logRawLocked retains one event with an arbitrary payload. Must hold
-// h.mu, after the mutation was applied and h.gen incremented.
-func (h *hostedShard) logRawLocked(kind byte, payload []byte) {
+// logRawLocked retains one event with an arbitrary payload and, on a
+// durable node, appends it to the shard WAL before the caller
+// acknowledges the write. Must hold h.mu, after the mutation was applied
+// and h.gen incremented. An error means the event is applied in memory
+// but not durable; the caller must withhold the success response.
+func (h *hostedShard) logRawLocked(kind byte, payload []byte) error {
 	h.events = append(h.events, repEvent{seq: h.gen, kind: kind, payload: payload})
 	if len(h.events) > maxRepLog {
 		h.events = h.events[len(h.events)-maxRepLog:]
 	}
+	if h.dur != nil {
+		return h.dur.append(h.gen, kind, payload)
+	}
+	return nil
 }
 
 // Node hosts shards and serves the wire protocol over them. One process
@@ -149,6 +159,14 @@ func (n *Node) Handle(req *Request) *Response {
 		return n.handleWrite(req, h)
 	case OpPull:
 		return n.handlePull(req, h)
+	case OpInfo:
+		// Probes bypass the read fence: a coordinator asks "how warm are
+		// you" before deciding whether any generation exists to fence on.
+		return n.handleInfo(req, h)
+	case OpCheckpoint:
+		// Checkpointing is local persistence, not a data mutation, so it is
+		// allowed on followers too.
+		return n.handleCheckpoint(req, h)
 	default:
 		return n.handleRead(req, h)
 	}
@@ -166,7 +184,9 @@ func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
 		}
 		id := h.coll.Insert(d)
 		h.gen++
-		h.logLocked(EvInsert, id, d)
+		if err := h.logLocked(EvInsert, id, d); err != nil {
+			return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+		}
 		var buf bytes.Buffer
 		putUvarint(&buf, uint64(id))
 		resp.Body = buf.Bytes()
@@ -178,7 +198,9 @@ func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
 		ok := h.coll.Update(id, d)
 		if ok {
 			h.gen++
-			h.logLocked(EvUpdate, id, d)
+			if err := h.logLocked(EvUpdate, id, d); err != nil {
+				return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+			}
 		}
 		resp.Body = boolBody(ok)
 	case OpDelete:
@@ -189,7 +211,9 @@ func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
 		ok := h.coll.Delete(id)
 		if ok {
 			h.gen++
-			h.logLocked(EvDelete, id, nil)
+			if err := h.logLocked(EvDelete, id, nil); err != nil {
+				return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+			}
 		}
 		resp.Body = boolBody(ok)
 	case OpCreateIndex:
@@ -199,7 +223,9 @@ func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
 		}
 		h.coll.EnsureIndex(name, path, kind)
 		h.gen++
-		h.logRawLocked(EvCreateIndex, req.Body)
+		if err := h.logRawLocked(EvCreateIndex, req.Body); err != nil {
+			return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+		}
 	case OpCreateTextIndex:
 		rd := bytes.NewReader(req.Body)
 		path, err := getString(rd)
@@ -208,7 +234,9 @@ func (n *Node) handleWrite(req *Request, h *hostedShard) *Response {
 		}
 		h.coll.EnsureTextIndex(path)
 		h.gen++
-		h.logRawLocked(EvCreateTextIndex, req.Body)
+		if err := h.logRawLocked(EvCreateTextIndex, req.Body); err != nil {
+			return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+		}
 	}
 	resp.Gen = h.gen
 	return resp
@@ -284,7 +312,9 @@ func (n *Node) handlePull(req *Request, h *hostedShard) *Response {
 		oldest = h.events[0].seq
 	}
 	if afterSeq+1 < oldest {
-		// The follower is behind the retained window: full resync.
+		// The follower is behind the retained window: full resync. The
+		// index manifest ships with the documents so the rebuilt replica
+		// serves reads through the same access paths as its primary.
 		var ids []int64
 		var docs []*store.Doc
 		h.coll.Scan(func(id int64, d *store.Doc) bool {
@@ -292,7 +322,11 @@ func (n *Node) handlePull(req *Request, h *hostedShard) *Response {
 			docs = append(docs, d)
 			return true
 		})
-		resp.Body = append([]byte{PullSnapshot}, EncodeSnapshot(ids, docs)...)
+		var buf bytes.Buffer
+		buf.WriteByte(PullSnapshot)
+		putBytes(&buf, EncodeIndexManifest(h.coll))
+		buf.Write(EncodeSnapshot(ids, docs))
+		resp.Body = buf.Bytes()
 		return resp
 	}
 	var buf bytes.Buffer
@@ -314,6 +348,107 @@ func (n *Node) handlePull(req *Request, h *hostedShard) *Response {
 	}
 	resp.Body = buf.Bytes()
 	return resp
+}
+
+// handleInfo serves the warm-probe: generation, document count, and
+// index manifest, with no read fence applied.
+func (n *Node) handleInfo(req *Request, h *hostedShard) *Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	info := ShardInfo{Gen: h.gen, Count: h.coll.Count(), Manifest: EncodeIndexManifest(h.coll)}
+	return &Response{ID: req.ID, Gen: h.gen, Body: EncodeShardInfo(info)}
+}
+
+// handleCheckpoint persists one shard to the node's data directory on
+// demand — the remote side of coordinator-driven checkpoints (SaveStores,
+// live checkpoints). Unavailable without -data-dir, which the coordinator
+// tolerates the same way it tolerated checkpoints before durability
+// existed.
+func (n *Node) handleCheckpoint(req *Request, h *hostedShard) *Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dur == nil {
+		return errResp(req.ID, dterr.Newf(dterr.CodeUnavailable,
+			"cluster: node %q has no data directory; start dtnode with -data-dir", n.name))
+	}
+	if err := h.dur.checkpoint(h.coll, h.gen); err != nil {
+		return errResp(req.ID, dterr.Wrap(dterr.CodeInternal, err))
+	}
+	return &Response{ID: req.ID, Gen: h.gen}
+}
+
+// EnableDurability backs every hosted shard with a directory under root:
+// existing state is recovered (checkpoint snapshot + WAL replay), the
+// recovered state is re-checkpointed so the WAL restarts compact, and
+// every subsequent mutation is appended to the shard WAL before its
+// response is sent. Call after AddShard/BuildNode and before serving.
+// extentSize sizes recovered collections (same value BuildNode used).
+func (n *Node) EnableDurability(root string, extentSize int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for key, h := range n.shards {
+		st, err := openShardStore(root, key)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		coll, gen, err := st.recover(h.coll, extentSize)
+		if err == nil {
+			err = st.checkpoint(coll, gen)
+		}
+		if err == nil {
+			h.coll, h.gen, h.dur = coll, gen, st
+		}
+		h.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: shard %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint persists every hosted shard (snapshot + manifest, WAL
+// truncated) — the shutdown path of a durable dtnode. Unavailable when
+// the node runs without a data directory.
+func (n *Node) Checkpoint() error {
+	n.mu.RLock()
+	shards := make(map[string]*hostedShard, len(n.shards))
+	for k, h := range n.shards {
+		shards[k] = h
+	}
+	n.mu.RUnlock()
+	for key, h := range shards {
+		h.mu.Lock()
+		var err error
+		if h.dur == nil {
+			err = dterr.New(dterr.CodeUnavailable, "cluster: node has no data directory")
+		} else {
+			err = h.dur.checkpoint(h.coll, h.gen)
+		}
+		h.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// Close releases durability resources (shard WAL file handles). Safe on
+// nodes without durability.
+func (n *Node) Close() error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var first error
+	for _, h := range n.shards {
+		h.mu.Lock()
+		if h.dur != nil {
+			if err := h.dur.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		h.mu.Unlock()
+	}
+	return first
 }
 
 func boolBody(ok bool) []byte {
@@ -474,51 +609,52 @@ func (f *Follower) pullShard(key string) error {
 	}
 	switch resp.Body[0] {
 	case PullSnapshot:
-		ids, docs, err := DecodeSnapshot(resp.Body[1:])
+		// The primary ships its index manifest ahead of the documents, so
+		// the rebuilt collection re-creates every secondary and text index
+		// instead of silently serving unindexed reads until the next
+		// index-create event.
+		rd := bytes.NewReader(resp.Body[1:])
+		manifest, err := getBytes(rd)
+		if err != nil {
+			return dterr.Wrap(dterr.CodeInternal, err)
+		}
+		ids, docs, err := DecodeSnapshot(resp.Body[len(resp.Body)-rd.Len():])
 		if err != nil {
 			return dterr.Wrap(dterr.CodeInternal, err)
 		}
 		fresh := store.NewCollection(nsOf(key), 0)
+		if err := ApplyIndexManifest(fresh, manifest); err != nil {
+			return dterr.Wrap(dterr.CodeInternal, err)
+		}
 		for i, id := range ids {
 			fresh.ApplyReplay(id, docs[i])
 		}
 		h.mu.Lock()
 		h.coll = fresh
 		h.gen = resp.Gen
+		var derr error
+		if h.dur != nil {
+			// The resync jumped the generation; a checkpoint re-anchors the
+			// shard WAL at the new position.
+			derr = h.dur.checkpoint(fresh, resp.Gen)
+		}
 		h.mu.Unlock()
+		if derr != nil {
+			return dterr.Wrap(dterr.CodeInternal, derr)
+		}
 		return nil
 	case PullEvents:
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		stats, err := store.ReplayEventLog(bytes.NewReader(resp.Body[1:]), after,
 			func(seq uint64, kind byte, payload []byte) error {
-				switch kind {
-				case EvInsert, EvUpdate:
-					id, d, err := DecodeIDDoc(payload)
-					if err != nil {
+				if err := applyEvent(h.coll, kind, payload); err != nil {
+					return err
+				}
+				if h.dur != nil {
+					if err := h.dur.append(seq, kind, payload); err != nil {
 						return err
 					}
-					h.coll.ApplyReplay(id, d)
-				case EvDelete:
-					id, _, err := DecodeIDDoc(payload)
-					if err != nil {
-						return err
-					}
-					h.coll.Delete(id)
-				case EvCreateIndex:
-					name, path, k, err := DecodeCreateIndex(payload)
-					if err != nil {
-						return err
-					}
-					h.coll.EnsureIndex(name, path, k)
-				case EvCreateTextIndex:
-					p, err := getString(bytes.NewReader(payload))
-					if err != nil {
-						return err
-					}
-					h.coll.EnsureTextIndex(p)
-				default:
-					return fmt.Errorf("cluster: unknown replication event kind %d", kind)
 				}
 				h.gen = seq
 				return nil

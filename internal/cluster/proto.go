@@ -35,6 +35,15 @@ const (
 	OpCreateIndex
 	OpCreateTextIndex
 	OpPull
+	// OpInfo probes a shard without the read fence: the response carries
+	// the shard's generation, document count, and index manifest, letting a
+	// coordinator decide whether nodes are warm (recovered from their local
+	// WAL/checkpoint) before re-running batch ingest.
+	OpInfo
+	// OpCheckpoint asks the hosting node to persist the shard to its local
+	// data directory (snapshot + manifest, WAL truncated). Unavailable on
+	// nodes running without -data-dir.
+	OpCheckpoint
 )
 
 // MaxFrameLen bounds a wire frame so a corrupt or hostile length header
@@ -60,7 +69,10 @@ const (
 // Pull response flags: the first body byte of an OpPull response says
 // whether the rest is an incremental event log or a full shard snapshot
 // (the resync path when the primary has trimmed past the follower's
-// position).
+// position). A snapshot body is the flag, then the primary's index
+// manifest (length-prefixed, EncodeIndexManifest format), then the
+// EncodeSnapshot document pairs — the follower rebuilds indexes before
+// replaying documents into them.
 const (
 	PullEvents   byte = 0
 	PullSnapshot byte = 1
@@ -514,6 +526,97 @@ func DecodeCreateIndex(data []byte) (name, path string, kind store.IndexKind, er
 		return "", "", 0, fmt.Errorf("cluster: index kind: %w", err)
 	}
 	return name, path, store.IndexKind(k), nil
+}
+
+// EncodeIndexManifest packs a collection's index layout — secondary
+// indexes as create-index payloads, then text index paths. It travels in
+// snapshot resync responses (so an out-of-window follower rebuilds its
+// access paths, not just its documents), in OpInfo probe responses, and
+// in the node-local checkpoint manifest on disk.
+func EncodeIndexManifest(c *store.Collection) []byte {
+	var buf bytes.Buffer
+	ixs := c.Indexes()
+	putUvarint(&buf, uint64(len(ixs)))
+	for _, ix := range ixs {
+		putBytes(&buf, EncodeCreateIndex(ix.Name, ix.Path, ix.Kind))
+	}
+	txs := c.TextIndexes()
+	putUvarint(&buf, uint64(len(txs)))
+	for _, tx := range txs {
+		putString(&buf, tx.Path)
+	}
+	return buf.Bytes()
+}
+
+// ApplyIndexManifest re-creates every index named in a manifest on c,
+// backfilling from the documents already present. Idempotent: existing
+// indexes are left alone.
+func ApplyIndexManifest(c *store.Collection, data []byte) error {
+	rd := bytes.NewReader(data)
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("cluster: manifest index count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		raw, err := getBytes(rd)
+		if err != nil {
+			return fmt.Errorf("cluster: manifest index %d: %w", i, err)
+		}
+		name, path, kind, err := DecodeCreateIndex(raw)
+		if err != nil {
+			return fmt.Errorf("cluster: manifest index %d: %w", i, err)
+		}
+		c.EnsureIndex(name, path, kind)
+	}
+	m, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("cluster: manifest text index count: %w", err)
+	}
+	for i := uint64(0); i < m; i++ {
+		p, err := getString(rd)
+		if err != nil {
+			return fmt.Errorf("cluster: manifest text index %d: %w", i, err)
+		}
+		c.EnsureTextIndex(p)
+	}
+	return nil
+}
+
+// ShardInfo is the decoded OpInfo response body.
+type ShardInfo struct {
+	// Gen is the shard's mutation generation (also in Response.Gen).
+	Gen uint64
+	// Count is the live document count.
+	Count int64
+	// Manifest is the shard's index layout (EncodeIndexManifest format).
+	Manifest []byte
+}
+
+// EncodeShardInfo packs an OpInfo response body.
+func EncodeShardInfo(info ShardInfo) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, info.Gen)
+	putUvarint(&buf, uint64(info.Count))
+	putBytes(&buf, info.Manifest)
+	return buf.Bytes()
+}
+
+// DecodeShardInfo unpacks EncodeShardInfo.
+func DecodeShardInfo(data []byte) (ShardInfo, error) {
+	rd := bytes.NewReader(data)
+	gen, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("cluster: info gen: %w", err)
+	}
+	count, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("cluster: info count: %w", err)
+	}
+	man, err := getBytes(rd)
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("cluster: info manifest: %w", err)
+	}
+	return ShardInfo{Gen: gen, Count: int64(count), Manifest: man}, nil
 }
 
 // --- buffer helpers ---------------------------------------------------

@@ -69,6 +69,10 @@ func (r *RemoteShard) callRead(ctx context.Context, op byte, body []byte) (*Resp
 	if r.follower != nil {
 		resp, err := r.follower.Call(ctx, &Request{Op: op, Shard: r.key, MinGen: r.lastGen.Load(), Body: body})
 		if err == nil && resp.Err == nil {
+			// A successful follower response advances the freshness
+			// watermark too: the fence must reflect every generation this
+			// client has observed, not just the ones primaries reported.
+			r.observe(resp.Gen)
 			return resp, nil
 		}
 		if ctx.Err() != nil {
@@ -164,8 +168,9 @@ func (r *RemoteShard) Distinct(ctx context.Context, path string) (map[string]int
 }
 
 // Stats implements store.ShardBackend. Stats go to the primary: a
-// follower replays documents without rebuilding indexes, so only the
-// primary's index and extent accounting is authoritative.
+// follower rebuilt from a snapshot resync carries the primary's indexes
+// but not its extent history, so only the primary's extent accounting is
+// authoritative.
 func (r *RemoteShard) Stats(ctx context.Context) (store.Stats, error) {
 	resp, err := r.callPrimary(ctx, OpStats, nil)
 	if err != nil {
@@ -195,6 +200,37 @@ func (r *RemoteShard) CreateTextIndex(ctx context.Context, path string) error {
 	putString(&buf, path)
 	_, err := r.callPrimary(ctx, OpCreateTextIndex, buf.Bytes())
 	return err
+}
+
+// Info probes the primary's shard state — generation, document count,
+// index manifest — without the read fence. Coordinators use it to detect
+// warm nodes (recovered from their node-local WAL/checkpoint) before
+// deciding whether to re-run batch ingest.
+func (r *RemoteShard) Info(ctx context.Context) (ShardInfo, error) {
+	resp, err := r.primary.Call(ctx, &Request{Op: OpInfo, Shard: r.key})
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	if resp.Err != nil {
+		return ShardInfo{}, resp.Err
+	}
+	r.observe(resp.Gen)
+	return DecodeShardInfo(resp.Body)
+}
+
+// Checkpoint asks the hosting node to persist this shard to its local
+// data directory. Nodes running without -data-dir answer unavailable
+// (errors.Is(err, dterr.ErrUnavailable)).
+func (r *RemoteShard) Checkpoint(ctx context.Context) error {
+	resp, err := r.primary.Call(ctx, &Request{Op: OpCheckpoint, Shard: r.key})
+	if err != nil {
+		return err
+	}
+	if resp.Err != nil {
+		return resp.Err
+	}
+	r.observe(resp.Gen)
+	return nil
 }
 
 // Ping round-trips an OpPing through the primary transport.

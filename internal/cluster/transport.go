@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"context"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,11 +31,27 @@ const DefaultCallTimeout = 10 * time.Second
 // extra connections are opened and discarded.
 const maxIdleConns = 4
 
-// tcpConn is one pooled connection with its buffered endpoints.
+// tcpConn is one pooled connection with its buffered endpoints. nread
+// counts response bytes off the socket, so a failed exchange can tell "the
+// peer never answered" (safe to retry on a fresh connection) from "the
+// response died mid-stream".
 type tcpConn struct {
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
+	c     net.Conn
+	nread *countingReader
+	r     *bufio.Reader
+	w     *bufio.Writer
+}
+
+// countingReader counts bytes delivered from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // TCPTransport speaks the wire protocol to one node address over pooled
@@ -72,7 +89,7 @@ func (t *TCPTransport) Call(ctx context.Context, req *Request) (*Response, error
 		return nil, dterr.FromContext(err)
 	}
 	req.ID = t.nextID.Add(1)
-	conn, err := t.acquire(ctx)
+	conn, pooled, err := t.acquire(ctx)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, dterr.FromContext(ctx.Err())
@@ -83,11 +100,35 @@ func (t *TCPTransport) Call(ctx context.Context, req *Request) (*Response, error
 	if !ok {
 		deadline = time.Now().Add(t.timeout)
 	}
+	readBefore := conn.nread.n
 	resp, err := t.exchange(conn, req, deadline)
 	if err != nil {
 		conn.c.Close()
 		if ctx.Err() != nil {
 			return nil, dterr.FromContext(ctx.Err())
+		}
+		// Stale-pool retry: an idle pooled connection to a node that
+		// restarted fails on first use (reset/EOF), which would surface a
+		// spurious busy burst of up to maxIdleConns calls. When the failed
+		// exchange used a pooled conn and no response bytes arrived, the
+		// request is retried exactly once on a freshly dialed connection.
+		// Like HTTP keep-alive retries this can double-send a request the
+		// dead peer already processed but never answered; the window is a
+		// conn that died after reading the request and before writing any
+		// response byte.
+		if pooled && conn.nread.n == readBefore {
+			fresh, derr := t.dial(ctx)
+			if derr == nil {
+				resp, err = t.exchange(fresh, req, deadline)
+				if err == nil {
+					t.release(fresh)
+					return resp, nil
+				}
+				fresh.c.Close()
+				if ctx.Err() != nil {
+					return nil, dterr.FromContext(ctx.Err())
+				}
+			}
 		}
 		return nil, dterr.Wrapf(dterr.CodeBusy, err, "cluster: call %s", t.addr)
 	}
@@ -119,26 +160,34 @@ func (t *TCPTransport) exchange(conn *tcpConn, req *Request, deadline time.Time)
 	return resp, nil
 }
 
-// acquire returns an idle pooled connection or dials a fresh one.
-func (t *TCPTransport) acquire(ctx context.Context) (*tcpConn, error) {
+// acquire returns an idle pooled connection (pooled=true) or dials a
+// fresh one.
+func (t *TCPTransport) acquire(ctx context.Context) (conn *tcpConn, pooled bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, dterr.New(dterr.CodeClosed, "cluster: transport closed")
+		return nil, false, dterr.New(dterr.CodeClosed, "cluster: transport closed")
 	}
 	if n := len(t.idle); n > 0 {
 		conn := t.idle[n-1]
 		t.idle = t.idle[:n-1]
 		t.mu.Unlock()
-		return conn, nil
+		return conn, true, nil
 	}
 	t.mu.Unlock()
+	conn, err = t.dial(ctx)
+	return conn, false, err
+}
+
+// dial opens a fresh connection to the node.
+func (t *TCPTransport) dial(ctx context.Context) (*tcpConn, error) {
 	var d net.Dialer
 	c, err := d.DialContext(ctx, "tcp", t.addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+	cr := &countingReader{r: c}
+	return &tcpConn{c: c, nread: cr, r: bufio.NewReader(cr), w: bufio.NewWriter(c)}, nil
 }
 
 // release returns a healthy connection to the pool, or closes it when the

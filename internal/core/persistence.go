@@ -15,8 +15,18 @@ import (
 // (the paper's deployment relied on the storage engine's own durability;
 // ours is part of the reproduction).
 
+// Checkpointer is implemented by shard backends that persist their own
+// state somewhere the coordinator cannot reach — a cluster RemoteShard
+// delegates the checkpoint to its hosting node's local data directory.
+type Checkpointer interface {
+	Checkpoint(ctx context.Context) error
+}
+
 // SaveStores writes one snapshot file per shard of both namespaces into
-// dir: instance-<i>.snap and entity-<i>.snap.
+// dir: instance-<i>.snap and entity-<i>.snap. Remote shards are not
+// written into dir; each is asked to checkpoint itself on its hosting
+// node (nodes running without a data directory answer unavailable, which
+// callers tolerate the way they did before node durability existed).
 func (t *Tamer) SaveStores(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: creating snapshot dir: %w", err)
@@ -32,8 +42,14 @@ func saveSharded(dir, prefix string, s *store.Sharded) error {
 		coll := s.Shard(i)
 		if coll == nil {
 			// Remote shards own their documents; their node is the place to
-			// snapshot them. The coordinator cannot checkpoint what it does
-			// not hold.
+			// snapshot them. Delegate when the backend can, otherwise report
+			// the checkpoint unavailable as before.
+			if cp, ok := s.Backend(i).(Checkpointer); ok {
+				if err := cp.Checkpoint(context.Background()); err != nil {
+					return fmt.Errorf("core: checkpointing %s shard %d: %w", s.NS(), i, err)
+				}
+				continue
+			}
 			return dterr.Newf(dterr.CodeUnavailable,
 				"core: store snapshots unavailable: %s shard %d is remote", s.NS(), i)
 		}
@@ -56,8 +72,15 @@ func saveSharded(dir, prefix string, s *store.Sharded) error {
 // LoadStores reads snapshots written by SaveStores into fresh namespaces,
 // rebuilding the standard index sets. The shard count and extent size come
 // from the receiver's configuration and must match the saved layout's
-// shard count.
+// shard count. In cluster mode (remote shards) there is nothing to load
+// coordinator-side: the nodes recovered their own state from their local
+// WAL/checkpoints, so LoadStores keeps the cluster routing intact and
+// only retires memoized rankings.
 func (t *Tamer) LoadStores(dir string) error {
+	if t.Instances.NumShards() > 0 && t.Instances.Shard(0) == nil {
+		t.entityGen.Add(1)
+		return nil
+	}
 	inst, err := loadSharded(dir, "instance", "dt.instance", "source_url", t.cfg)
 	if err != nil {
 		return err

@@ -31,7 +31,11 @@
 // restarts. Poison events — acknowledged writes whose apply fails
 // deterministically — are dropped and counted (Stats.ApplyErrors during
 // operation, Stats.ReplayErrors during recovery) rather than wedging the
-// queue, and are fenced away by the next checkpoint.
+// queue, and are fenced away by the next checkpoint. In cluster mode the
+// checkpoint fence delegates shard snapshots to the nodes' own data
+// directories; a coordinator crash (no clean Close) can then leave a WAL
+// tail whose events some nodes already applied and persisted, making the
+// replay at-least-once — a clean shutdown checkpoints first and is exact.
 package live
 
 import (
@@ -217,8 +221,10 @@ func Open(ctx context.Context, t *core.Tamer, cfg Config) (*Ingester, error) {
 		// Still sweep epoch directories left by a crash mid-checkpoint.
 		dropStaleEpochs(cfg.Dir, ing.epoch)
 	} else if err := ing.checkpointState(nextSeq - 1); err != nil {
-		// Cluster mode cannot snapshot remote shard collections; the WAL
-		// (not truncated on this path) remains the recovery source.
+		// In cluster mode SaveStores delegates to the nodes' own data
+		// directories; nodes running without -data-dir answer unavailable,
+		// and the WAL (not truncated on this path) remains the recovery
+		// source for them.
 		if !errors.Is(err, dterr.ErrUnavailable) {
 			return nil, err
 		}
@@ -686,9 +692,10 @@ func (ing *Ingester) Close() error {
 	}
 	close(ing.done)
 	ing.wg.Wait()
-	// In cluster mode the shard collections are remote and cannot be
-	// snapshotted locally (SaveStores reports unavailable); the WAL then
-	// stays authoritative across restarts instead of the checkpoint.
+	// In cluster mode SaveStores delegates the shard snapshots to the
+	// hosting nodes' data directories. Nodes without -data-dir answer
+	// unavailable; the WAL then stays authoritative across restarts
+	// instead of the checkpoint, exactly as before node durability.
 	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil && !errors.Is(cerr, dterr.ErrUnavailable) {
 		err = cerr
 	}
