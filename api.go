@@ -13,6 +13,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/match"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/schema"
 	"repro/internal/serve"
@@ -324,15 +325,72 @@ func (t *Tamer) Live() bool { return t.ing != nil }
 // Config returns the effective (defaulted) configuration.
 func (t *Tamer) Config() Config { return t.core.Config() }
 
+// ServeOptions configures the production middleware around the HTTP API:
+// metrics, response caching, rate limiting, and admission control. The
+// zero value enables metrics (recorded into the process-wide registry,
+// exposed at GET /metrics) and the generation-keyed response cache at its
+// default budget, with rate limiting and admission control off.
+type ServeOptions struct {
+	// CacheBytes bounds the response cache (0 = 32 MB default; negative
+	// disables caching).
+	CacheBytes int64
+	// RatePerSec enables per-client token-bucket rate limiting at this
+	// sustained rate (0 disables). Clients are keyed by X-API-Key when
+	// present, else by remote address.
+	RatePerSec float64
+	// Burst is the token-bucket burst (default: ceil(RatePerSec)).
+	Burst int
+	// MaxInFlight bounds concurrently running handlers (0 disables
+	// admission control).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an admission slot; beyond it
+	// requests are shed with 429 + Retry-After.
+	MaxQueue int
+	// DisableMetrics skips instrumentation and the /metrics endpoint.
+	DisableMetrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
 // Handler returns the versioned HTTP API (/v1 plus deprecated legacy
 // shims) over this pipeline, with write endpoints live iff WithLive was
-// used.
-func (t *Tamer) Handler() http.Handler {
-	if t.ing != nil {
-		return serve.NewLive(t.core, t.ing)
+// used, default metrics, and the response cache enabled.
+func (t *Tamer) Handler() http.Handler { return t.HandlerOptions(ServeOptions{}) }
+
+// HandlerOptions is Handler with the serving middleware configured
+// explicitly.
+func (t *Tamer) HandlerOptions(o ServeOptions) http.Handler {
+	opts := []serve.ServerOption{
+		serve.WithGeneration(t.core.DataGeneration),
+		serve.WithCacheBytes(o.CacheBytes),
 	}
-	return serve.New(t.core)
+	if !o.DisableMetrics {
+		opts = append(opts, serve.WithMetrics(obs.Default()))
+	}
+	if o.RatePerSec > 0 {
+		opts = append(opts, serve.WithRateLimit(o.RatePerSec, o.Burst))
+	}
+	if o.MaxInFlight > 0 {
+		opts = append(opts, serve.WithAdmission(o.MaxInFlight, o.MaxQueue))
+	}
+	if o.Pprof {
+		opts = append(opts, serve.WithPprof())
+	}
+	if t.ing != nil {
+		return serve.NewLive(t.core, t.ing, opts...)
+	}
+	return serve.New(t.core, opts...)
 }
+
+// MetricsHandler serves the process-wide metrics registry in the
+// Prometheus text format — the same series Handler exposes at /metrics,
+// for embedders that mount their own mux.
+func MetricsHandler() http.Handler { return obs.Default().Handler() }
+
+// DataGeneration returns the pipeline's data generation: bumped after
+// every completed mutation, it keys the serving tier's response cache and
+// the ETags handed to API clients.
+func (t *Tamer) DataGeneration() uint64 { return t.core.DataGeneration() }
 
 // ---- read side ---------------------------------------------------------
 

@@ -5,6 +5,12 @@
 // caller's context on every call, and retries idempotent reads on
 // transient failures with exponential backoff.
 //
+// The client cooperates with the server's serving tier: a 429 carrying a
+// Retry-After header reschedules the retry at the server's hint (capped,
+// idempotent GETs only), and a small per-client ETag cache replays
+// If-None-Match validators so an unchanged resource costs a 304 with no
+// body instead of a full response.
+//
 //	c := client.New("http://localhost:8080")
 //	top, err := c.Top(ctx, client.Page{Limit: 10})
 //	if errors.Is(err, dterr.ErrUnavailable) { ... }
@@ -12,6 +18,7 @@ package client
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -20,18 +27,22 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/dterr"
 )
 
 // Client talks to one data-tamer server. The zero value is not usable;
-// construct with New.
+// construct with New. Safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base          string
+	hc            *http.Client
+	retries       int
+	backoff       time.Duration
+	maxRetryAfter time.Duration
+	etags         *etagCache // nil when disabled
+	apiKey        string
 }
 
 // Option configures a Client.
@@ -49,19 +60,91 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // (default 100ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithRetryAfterCap bounds how long the client will honor a server's
+// Retry-After hint on 429 (default 5s). A hint above the cap waits the
+// cap; a non-positive cap disables 429 retries entirely.
+func WithRetryAfterCap(d time.Duration) Option { return func(c *Client) { c.maxRetryAfter = d } }
+
+// WithETagCache sizes the per-client ETag cache (default 128 entries;
+// 0 or negative disables conditional requests).
+func WithETagCache(entries int) Option {
+	return func(c *Client) {
+		if entries <= 0 {
+			c.etags = nil
+			return
+		}
+		c.etags = newETagCache(entries)
+	}
+}
+
+// WithAPIKey sends key as X-API-Key on every request — the identity the
+// server's per-client rate limiter buckets by.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
+
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		hc:      &http.Client{Timeout: 30 * time.Second},
-		retries: 2,
-		backoff: 100 * time.Millisecond,
+		base:          strings.TrimRight(baseURL, "/"),
+		hc:            &http.Client{Timeout: 30 * time.Second},
+		retries:       2,
+		backoff:       100 * time.Millisecond,
+		maxRetryAfter: 5 * time.Second,
+		etags:         newETagCache(128),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
+}
+
+// ---- ETag cache --------------------------------------------------------
+
+// etagEntry pairs a validator with the envelope body it validates.
+type etagEntry struct {
+	url  string
+	etag string
+	body []byte
+}
+
+// etagCache is a small LRU of url → (etag, body) used to issue
+// conditional GETs and reconstruct responses from 304s.
+type etagCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+func newETagCache(capacity int) *etagCache {
+	return &etagCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *etagCache) get(url string) (etagEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[url]
+	if !ok {
+		return etagEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return *el.Value.(*etagEntry), true
+}
+
+func (c *etagCache) put(url, etag string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[url]; ok {
+		*el.Value.(*etagEntry) = etagEntry{url: url, etag: etag, body: body}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[url] = c.ll.PushFront(&etagEntry{url: url, etag: etag, body: body})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*etagEntry).url)
+	}
 }
 
 // Page selects a window of a list endpoint. Limit <= 0 leaves the
@@ -201,20 +284,27 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		attempts += c.retries
 	}
 	var lastErr error
+	var waitHint time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			// A server Retry-After hint (already capped) overrides the
+			// exponential backoff for this attempt.
 			wait := c.backoff << (attempt - 1)
+			if waitHint > 0 {
+				wait = waitHint
+			}
 			select {
 			case <-ctx.Done():
 				return dterr.FromContext(ctx.Err())
 			case <-time.After(wait):
 			}
 		}
-		retry, err := c.once(ctx, method, u, encoded, out)
+		retry, hint, err := c.once(ctx, method, u, encoded, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
+		waitHint = hint
 		if !retry {
 			return err
 		}
@@ -222,36 +312,88 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	return lastErr
 }
 
-// once performs a single HTTP exchange. The bool reports whether the
-// failure is worth retrying (transport error or 5xx on an idempotent
-// call); the caller has already decided the method is retryable.
-func (c *Client) once(ctx context.Context, method, u string, body []byte, out any) (retry bool, err error) {
+// retryAfterHint parses a 429's Retry-After header (delta-seconds form)
+// into a wait bounded by the client's cap. Zero means "no usable hint" —
+// the HTTP-date form and absent headers both land there, so the caller
+// falls back to not retrying.
+func (c *Client) retryAfterHint(resp *http.Response) time.Duration {
+	if c.maxRetryAfter <= 0 {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	wait := time.Duration(secs) * time.Second
+	if wait > c.maxRetryAfter {
+		wait = c.maxRetryAfter
+	}
+	if wait == 0 {
+		wait = c.backoff // "Retry-After: 0" means immediately; keep a floor
+	}
+	return wait
+}
+
+// once performs a single HTTP exchange. retry reports whether the failure
+// is worth repeating (transport error, 5xx on an idempotent call, or a
+// 429 with a Retry-After hint); wait is the server-suggested delay for
+// that retry (0: use exponential backoff). The caller has already decided
+// the method is idempotent.
+func (c *Client) once(ctx context.Context, method, u string, body []byte, out any) (retry bool, wait time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return false, dterr.Wrap(dterr.CodeInvalidArgument, err)
+		return false, 0, dterr.Wrap(dterr.CodeInvalidArgument, err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	// Conditional GET: replay the validator we hold for this URL; a 304
+	// below reconstructs the response from the cached envelope body.
+	var cached etagEntry
+	useETags := c.etags != nil && method == http.MethodGet
+	if useETags {
+		var ok bool
+		if cached, ok = c.etags.get(u); ok {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return false, dterr.FromContext(ctx.Err())
+			return false, 0, dterr.FromContext(ctx.Err())
 		}
-		return true, dterr.Wrapf(dterr.CodeUnavailable, err, "request %s %s", method, u)
+		return true, 0, dterr.Wrapf(dterr.CodeUnavailable, err, "request %s %s", method, u)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return true, dterr.Wrap(dterr.CodeUnavailable, err)
+		return true, 0, dterr.Wrap(dterr.CodeUnavailable, err)
+	}
+	if resp.StatusCode == http.StatusNotModified && useETags && cached.etag != "" {
+		raw = cached.body
+	} else if useETags && resp.StatusCode == http.StatusOK {
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.etags.put(u, etag, raw)
+		}
 	}
 	var env envelope
 	decodeErr := json.Unmarshal(raw, &env)
 	if resp.StatusCode >= 400 {
+		if resp.StatusCode == http.StatusTooManyRequests && method == http.MethodGet {
+			// Honor the server's shed hint: retry the idempotent read at
+			// the suggested (capped) delay. No hint, no retry — hammering
+			// an overloaded server would make the overload worse.
+			if hint := c.retryAfterHint(resp); hint > 0 {
+				return true, hint, busyError(u, &env, decodeErr)
+			}
+		}
 		if decodeErr == nil && env.Error != nil {
 			// Typed error round trip: the envelope's code is authoritative.
 			// Deterministic server states (unavailable, closed) are not worth
@@ -259,24 +401,32 @@ func (c *Client) once(ctx context.Context, method, u string, body []byte, out an
 			// internal fault might be transient.
 			code := dterr.Code(env.Error.Code)
 			retryable := resp.StatusCode >= 500 && code == dterr.CodeInternal
-			return retryable, dterr.New(code, env.Error.Message)
+			return retryable, 0, dterr.New(code, env.Error.Message)
 		}
 		code := dterr.FromHTTPStatus(resp.StatusCode)
-		return resp.StatusCode >= 500, dterr.Newf(code, "%s %s: HTTP %d", method, u, resp.StatusCode)
+		return resp.StatusCode >= 500, 0, dterr.Newf(code, "%s %s: HTTP %d", method, u, resp.StatusCode)
 	}
 	if out == nil {
-		return false, nil
+		return false, 0, nil
 	}
 	if decodeErr != nil {
-		return false, dterr.Wrapf(dterr.CodeInternal, decodeErr, "decoding response of %s %s", method, u)
+		return false, 0, dterr.Wrapf(dterr.CodeInternal, decodeErr, "decoding response of %s %s", method, u)
 	}
 	if env.Data == nil {
-		return false, dterr.Newf(dterr.CodeInternal, "%s %s: response envelope has no data", method, u)
+		return false, 0, dterr.Newf(dterr.CodeInternal, "%s %s: response envelope has no data", method, u)
 	}
 	if err := json.Unmarshal(env.Data, out); err != nil {
-		return false, dterr.Wrapf(dterr.CodeInternal, err, "decoding data of %s %s", method, u)
+		return false, 0, dterr.Wrapf(dterr.CodeInternal, err, "decoding data of %s %s", method, u)
 	}
-	return false, nil
+	return false, 0, nil
+}
+
+// busyError renders the typed error for a 429 that will be retried.
+func busyError(u string, env *envelope, decodeErr error) error {
+	if decodeErr == nil && env.Error != nil {
+		return dterr.New(dterr.Code(env.Error.Code), env.Error.Message)
+	}
+	return dterr.Newf(dterr.CodeBusy, "GET %s: HTTP 429", u)
 }
 
 // getList fetches one page of a /v1 list endpoint.

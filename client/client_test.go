@@ -280,3 +280,208 @@ func TestRetriesStopOn4xx(t *testing.T) {
 		t.Errorf("4xx retried: %d calls", got)
 	}
 }
+
+// ---- serving-tier cooperation: Retry-After and ETag replay -------------
+
+func TestRetryAfterHonoredOn429(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64
+	var first atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		now := time.Now().UnixNano()
+		if n == 1 {
+			first.Store(now)
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]any{"code": "busy", "message": "shed"},
+			})
+			return
+		}
+		gap.Store(now - first.Load())
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"data": map[string]any{"instance": map[string]any{"Count": 1}},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after 429: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	// The retry must have waited roughly the advertised second, not the
+	// 1ms exponential backoff.
+	if waited := time.Duration(gap.Load()); waited < 900*time.Millisecond {
+		t.Errorf("retry waited %v, want >= ~1s from Retry-After", waited)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600") // hostile hint: one hour
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"data": map[string]any{"instance": map[string]any{"Count": 1}}})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	c := New(ts.URL, WithRetries(1), WithRetryAfterCap(50*time.Millisecond))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("hour-long hint not capped: waited %v", waited)
+	}
+}
+
+func TestRetryAfterDisabledMeansNoRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithRetryAfterCap(0), WithBackoff(time.Millisecond))
+	_, err := c.Stats(context.Background())
+	if !errors.Is(err, dterr.ErrBusy) {
+		t.Fatalf("err = %v, want busy", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("429 without usable hint retried: %d calls", got)
+	}
+}
+
+func TestWritesNotRetriedOn429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	err := c.Flush(context.Background())
+	if !errors.Is(err, dterr.ErrBusy) {
+		t.Fatalf("err = %v, want busy", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("POST retried on 429: %d calls", got)
+	}
+}
+
+func TestETagCacheSendsIfNoneMatchAndDecodes304(t *testing.T) {
+	const tag = `"abc-7"`
+	var calls, conditional atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.Header.Get("If-None-Match") == tag {
+			conditional.Add(1)
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", tag)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"data": map[string]any{"instance": map[string]any{"Count": 42}},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	first, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("first Stats: %v", err)
+	}
+	second, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("second Stats: %v", err)
+	}
+	if first.Instance.Count != 42 || second.Instance.Count != 42 {
+		t.Errorf("counts = %d, %d; want 42 from both full and 304 replies", first.Instance.Count, second.Instance.Count)
+	}
+	if got := conditional.Load(); got != 1 {
+		t.Errorf("conditional requests = %d, want 1 (second call must send If-None-Match)", got)
+	}
+}
+
+func TestETagCacheDisabled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") != "" {
+			t.Error("If-None-Match sent with ETag cache disabled")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"x-1"`)
+		_ = json.NewEncoder(w).Encode(map[string]any{"data": map[string]any{"instance": map[string]any{"Count": 1}}})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithETagCache(0))
+	for i := 0; i < 2; i++ {
+		if _, err := c.Stats(context.Background()); err != nil {
+			t.Fatalf("Stats: %v", err)
+		}
+	}
+}
+
+func TestETagCacheEvictsPastCap(t *testing.T) {
+	var conditional atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") != "" {
+			conditional.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"t-`+r.URL.Path+`"`)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"data": map[string]any{"items": []any{}, "total": 0, "offset": 0, "limit": 0},
+		})
+	}))
+	defer ts.Close()
+
+	// Capacity one: fetching /v1/types then /v1/top evicts the types
+	// validator, so refetching types is unconditional again.
+	c := New(ts.URL, WithETagCache(1))
+	ctx := context.Background()
+	if _, err := c.Types(ctx, Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Top(ctx, Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Types(ctx, Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := conditional.Load(); got != 0 {
+		t.Errorf("conditional requests = %d, want 0 after eviction", got)
+	}
+}
+
+func TestAPIKeyHeaderSent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-API-Key"); got != "tenant-a" {
+			t.Errorf("X-API-Key = %q, want tenant-a", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"data": map[string]any{"instance": map[string]any{"Count": 1}}})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithAPIKey("tenant-a"))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,6 +74,15 @@ func writeClusterJSON(t *testing.T, path string, v any) {
 	}
 }
 
+// uncachedHandler returns the /v1 surface with the serve-tier response
+// cache disabled: these tests assert what the CLUSTER does — stale-pool
+// retries, shard-death busy errors, warm-restart equivalence — and a
+// cache in front would answer from memory instead of exercising the
+// transport.
+func uncachedHandler(tm *Tamer) http.Handler {
+	return tm.HandlerOptions(ServeOptions{CacheBytes: -1})
+}
+
 func httpGet(t *testing.T, h http.Handler, path string) (int, string) {
 	t.Helper()
 	rec := httptest.NewRecorder()
@@ -169,7 +178,7 @@ func TestClusterWarmRestart(t *testing.T) {
 		t.Fatalf("cluster open: %v", err)
 	}
 
-	lh, ch := local.Handler(), clustered.Handler()
+	lh, ch := uncachedHandler(local), uncachedHandler(clustered)
 	paths := []string{
 		"/v1/stats",
 		"/v1/types",
@@ -245,7 +254,7 @@ func TestClusterWarmRestart(t *testing.T) {
 		t.Fatalf("warm reopen: %v", err)
 	}
 	defer reopened.Close()
-	rh := reopened.Handler()
+	rh := uncachedHandler(reopened)
 	for _, path := range paths {
 		if code, body := httpGet(t, rh, path); code != http.StatusOK || body != afterIngest[path] {
 			t.Fatalf("%s after warm reopen = %d, diverged (batch ingest re-ran?)\nbefore: %s\nafter:  %s",
@@ -328,7 +337,7 @@ func TestClusterTwoNodeEndToEnd(t *testing.T) {
 	}
 	showPath := "/v1/show?name=" + url.QueryEscape(top[0].Name)
 
-	lh, ch := local.Handler(), clustered.Handler()
+	lh, ch := uncachedHandler(local), uncachedHandler(clustered)
 	paths := []string{
 		"/v1/stats",
 		"/v1/types",

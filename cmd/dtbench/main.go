@@ -438,15 +438,50 @@ func runBench(ctx context.Context, tm *datatamer.Tamer, n int, outPath string, c
 		fmt.Printf("%-26s %14.0f %14.0f\n", r.Op, r.NsPerOp, r.ItemsPerSec)
 	}
 
-	data, err := json.MarshalIndent(results, "", "  ")
+	rows := make([]json.RawMessage, 0, len(results))
+	for _, r := range results {
+		enc, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, enc)
+	}
+	// dtload owns the load_ rows of the trajectory file; a bench rerun
+	// must not wipe them (and vice versa — dtload merges around these).
+	rows = append(rows, preservedLoadRows(outPath)...)
+
+	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("\nwrote %d benchmark rows to %s\n", len(results), outPath)
+	fmt.Printf("\nwrote %d benchmark rows to %s\n", len(rows), outPath)
 	return nil
+}
+
+// preservedLoadRows returns the dtload-owned rows (op prefixed "load_")
+// already in the trajectory file, if any.
+func preservedLoadRows(path string) []json.RawMessage {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var existing []json.RawMessage
+	if json.Unmarshal(raw, &existing) != nil {
+		return nil
+	}
+	var kept []json.RawMessage
+	for _, row := range existing {
+		var probe struct {
+			Op string `json:"op"`
+		}
+		if json.Unmarshal(row, &probe) == nil && strings.HasPrefix(probe.Op, "load_") {
+			kept = append(kept, row)
+		}
+	}
+	return kept
 }
 
 // runClusterBench reruns the pipeline with every shard call routed through

@@ -1,0 +1,419 @@
+// Command dtload drives mixed read/ingest traffic at a running dtserver
+// through the public /v1 client SDK and reports what the serving tier did
+// with it: per-route latency percentiles, error and shed (429) counts,
+// and the server's cache hit ratio over the run (scraped from GET
+// /metrics before and after).
+//
+//	dtload -addr http://127.0.0.1:8080 -duration 10s -rate 400 -workers 16
+//
+// A worker pool paces requests to the global -rate target: workers claim
+// the next send slot from a shared sequence, so the offered load is
+// independent of how many workers carry it (more workers just deepen the
+// concurrency available to ride out slow responses). -write-pct routes
+// that share of requests to POST /v1/ingest/text — each write bumps the
+// server's data generation and so invalidates its response cache, which
+// is exactly the churn the cache is designed to absorb.
+//
+// With -out the per-route rows are merged into the BENCH_results.json
+// trajectory under op "load_<label>/<route>", replacing rows with the
+// same op from earlier runs and leaving every other row alone (dtbench
+// likewise preserves load_ rows). -label tags the scenario, e.g. cached
+// vs uncached:
+//
+//	dtload -label uncached -duration 5s   # against dtserver -cache-bytes=-1
+//	dtload -label cached   -duration 5s   # against a default dtserver
+//
+// -smoke runs a short gate for CI: after the run it fails the process
+// unless the server answered with zero 5xx responses and served at least
+// one response from its cache. -summary writes the human-readable report
+// to a file (for CI artifacts) as well as stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/dterr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtload: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "dtserver base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	rate := flag.Float64("rate", 200, "target offered load in requests/sec across all workers")
+	workers := flag.Int("workers", 8, "concurrent workers carrying the load")
+	writePct := flag.Int("write-pct", 5, "percent of requests that are POST /v1/ingest/text (server must run -live)")
+	seed := flag.Int64("seed", 1, "deterministic seed for the request mix")
+	label := flag.String("label", "run", "scenario label for the BENCH_results.json rows (e.g. cached, uncached)")
+	out := flag.String("out", "", "merge load_ rows into this BENCH_results.json (\"\" disables)")
+	summary := flag.String("summary", "", "also write the report to this file")
+	smoke := flag.Bool("smoke", false, "CI gate: fail unless zero 5xx and at least one server cache hit")
+	apiKey := flag.String("api-key", "", "X-API-Key to send (the server's rate-limit client key)")
+	etags := flag.Bool("etags", false, "enable the SDK ETag cache (304 revalidation instead of full bodies)")
+	flag.Parse()
+
+	if err := run(*addr, *duration, *rate, *workers, *writePct, *seed, *label, *out, *summary, *smoke, *apiKey, *etags); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// route labels for the report; writes are one logical route.
+const ingestRoute = "/v1/ingest/text"
+
+// routeStats accumulates one route's outcomes. Latencies are recorded for
+// successful calls only, so shed and failed requests cannot flatter (or
+// smear) the percentiles.
+type routeStats struct {
+	latencies []time.Duration
+	errors    int
+	throttled int
+	serverErr int
+}
+
+// collector is the shared, mutex-guarded result sink.
+type collector struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func (c *collector) record(route string, d time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		c.routes[route] = rs
+	}
+	switch {
+	case err == nil:
+		rs.latencies = append(rs.latencies, d)
+	case errors.Is(err, dterr.ErrBusy):
+		rs.throttled++
+	default:
+		rs.errors++
+		// 5xx-shaped outcomes: the smoke gate fails on any of these.
+		if errors.Is(err, dterr.ErrInternal) || errors.Is(err, dterr.ErrUnavailable) || errors.Is(err, dterr.ErrClosed) {
+			rs.serverErr++
+		}
+	}
+}
+
+// pctile returns the q-quantile of sorted latencies.
+func pctile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// cacheCounters is the slice of the server's /metrics the report needs.
+type cacheCounters struct {
+	hits, misses, revalidations float64
+}
+
+// scrapeCache fetches addr's /metrics and pulls the response-cache
+// counters out of the Prometheus text. A server running -no-metrics
+// yields zeros; the report says so instead of failing the run.
+func scrapeCache(addr string) (cacheCounters, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return cacheCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cacheCounters{}, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return cacheCounters{}, err
+	}
+	var c cacheCounters
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "dt_cache_hits_total":
+			c.hits = v
+		case "dt_cache_misses_total":
+			c.misses = v
+		case "dt_cache_revalidations_total":
+			c.revalidations = v
+		}
+	}
+	return c, nil
+}
+
+// loadRow is one BENCH_results.json row produced by a run.
+type loadRow struct {
+	Op        string  `json:"op"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Throttled int     `json:"throttled_429"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+func run(addr string, duration time.Duration, rate float64, workers, writePct int, seed int64, label, out, summaryPath string, smoke bool, apiKey string, etags bool) error {
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if smoke && duration > 5*time.Second {
+		duration = 3 * time.Second
+	}
+
+	// The SDK's own resilience is turned off: a shed request must surface
+	// as a 429 outcome here, not dissolve into a quiet retry, and full
+	// bodies (not 304s) are what the cached-vs-uncached comparison times.
+	opts := []client.Option{client.WithRetries(0), client.WithRetryAfterCap(0)}
+	if !etags {
+		opts = append(opts, client.WithETagCache(0))
+	}
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	c := client.New(addr, opts...)
+	ctx := context.Background()
+
+	// Names that exist make /v1/show representative; fall back to the
+	// paper's demo show when the ranking is empty.
+	showNames := []string{"Matilda"}
+	if top, err := c.Top(ctx, client.Page{Limit: 10}); err == nil && len(top.Items) > 0 {
+		showNames = showNames[:0]
+		for _, d := range top.Items {
+			showNames = append(showNames, d.Name)
+		}
+	} else if err != nil {
+		return fmt.Errorf("probing %s: %w", addr, err)
+	}
+
+	before, scrapeErr := scrapeCache(addr)
+
+	type call struct {
+		route string
+		do    func(rng *rand.Rand, seq int64) error
+	}
+	reads := []call{
+		{"/v1/stats", func(*rand.Rand, int64) error { _, err := c.Stats(ctx); return err }},
+		{"/v1/types", func(*rand.Rand, int64) error { _, err := c.Types(ctx, client.Page{Limit: 50}); return err }},
+		{"/v1/top", func(*rand.Rand, int64) error { _, err := c.Top(ctx, client.Page{Limit: 10}); return err }},
+		{"/v1/cheapest", func(*rand.Rand, int64) error { _, err := c.Cheapest(ctx, client.Page{Limit: 5}); return err }},
+		{"/v1/find", func(*rand.Rand, int64) error {
+			_, err := c.Find(ctx, "type = Movie", client.Page{Limit: 10})
+			return err
+		}},
+		{"/v1/show", func(rng *rand.Rand, _ int64) error {
+			_, err := c.Show(ctx, showNames[rng.Intn(len(showNames))])
+			return err
+		}},
+	}
+	ingest := call{ingestRoute, func(_ *rand.Rand, seq int64) error {
+		_, err := c.IngestText(ctx, []client.Fragment{{
+			URL:  fmt.Sprintf("http://load.example/%d/%d", seed, seq),
+			Text: fmt.Sprintf("load fragment %d mentions the show Matilda and ticket prices", seq),
+		}})
+		return err
+	}}
+
+	col := &collector{routes: make(map[string]*routeStats)}
+	start := time.Now()
+	deadline := start.Add(duration)
+	interval := time.Duration(float64(time.Second) / rate)
+	var seq int64
+	var seqMu sync.Mutex
+	nextSlot := func() (int64, time.Time, bool) {
+		seqMu.Lock()
+		n := seq
+		seq++
+		seqMu.Unlock()
+		at := start.Add(time.Duration(n) * interval)
+		return n, at, at.Before(deadline)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				n, at, ok := nextSlot()
+				if !ok {
+					return
+				}
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+				pick := reads[rng.Intn(len(reads))]
+				if writePct > 0 && rng.Intn(100) < writePct {
+					pick = ingest
+				}
+				t0 := time.Now()
+				err := pick.do(rng, n)
+				col.record(pick.route, time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, scrapeErr2 := scrapeCache(addr)
+	if scrapeErr == nil {
+		scrapeErr = scrapeErr2
+	}
+
+	// ---- report --------------------------------------------------------
+
+	var b strings.Builder
+	routes := make([]string, 0, len(col.routes))
+	total, totalErrs, totalThrottled, totalServerErr := 0, 0, 0, 0
+	for r, rs := range col.routes {
+		routes = append(routes, r)
+		total += len(rs.latencies) + rs.errors + rs.throttled
+		totalErrs += rs.errors
+		totalThrottled += rs.throttled
+		totalServerErr += rs.serverErr
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(&b, "dtload: %s for %s at %.0f req/s target (%d workers, %d%% writes)\n",
+		addr, elapsed.Round(time.Millisecond), rate, workers, writePct)
+	fmt.Fprintf(&b, "offered %d requests (%.0f req/s achieved), %d errors, %d throttled (429)\n",
+		total, float64(total)/elapsed.Seconds(), totalErrs, totalThrottled)
+	fmt.Fprintf(&b, "%-18s %8s %6s %6s %9s %9s %9s %9s\n",
+		"ROUTE", "OK", "ERR", "429", "P50", "P95", "P99", "MAX")
+
+	var rows []loadRow
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for _, r := range routes {
+		rs := col.routes[r]
+		sort.Slice(rs.latencies, func(i, j int) bool { return rs.latencies[i] < rs.latencies[j] })
+		p50, p95, p99 := pctile(rs.latencies, 0.50), pctile(rs.latencies, 0.95), pctile(rs.latencies, 0.99)
+		var max time.Duration
+		if n := len(rs.latencies); n > 0 {
+			max = rs.latencies[n-1]
+		}
+		fmt.Fprintf(&b, "%-18s %8d %6d %6d %9s %9s %9s %9s\n",
+			r, len(rs.latencies), rs.errors, rs.throttled,
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+			p99.Round(time.Microsecond), max.Round(time.Microsecond))
+		rows = append(rows, loadRow{
+			Op:        "load_" + label + "/" + strings.TrimPrefix(r, "/"),
+			Requests:  len(rs.latencies) + rs.errors + rs.throttled,
+			Errors:    rs.errors,
+			Throttled: rs.throttled,
+			P50Ms:     ms(p50), P95Ms: ms(p95), P99Ms: ms(p99), MaxMs: ms(max),
+		})
+	}
+
+	hits := after.hits - before.hits
+	misses := after.misses - before.misses
+	if scrapeErr != nil {
+		fmt.Fprintf(&b, "cache: /metrics unavailable (%v)\n", scrapeErr)
+	} else if hits+misses == 0 {
+		fmt.Fprintf(&b, "cache: no cacheable traffic observed (caching disabled?)\n")
+	} else {
+		fmt.Fprintf(&b, "cache: %.0f hits / %.0f misses (%.1f%% hit ratio, %.0f revalidations)\n",
+			hits, misses, 100*hits/(hits+misses), after.revalidations-before.revalidations)
+	}
+
+	fmt.Print(b.String())
+	if summaryPath != "" {
+		if err := os.WriteFile(summaryPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if out != "" {
+		if err := mergeRows(out, rows); err != nil {
+			return err
+		}
+		log.Printf("merged %d load_ rows into %s", len(rows), out)
+	}
+
+	if smoke {
+		if totalServerErr > 0 {
+			return fmt.Errorf("smoke: %d server-error (5xx) responses, want 0", totalServerErr)
+		}
+		if scrapeErr != nil {
+			return fmt.Errorf("smoke: scraping /metrics: %w", scrapeErr)
+		}
+		if hits < 1 {
+			return fmt.Errorf("smoke: no cache hits served (hits=%.0f misses=%.0f)", hits, misses)
+		}
+		log.Printf("smoke: ok (0 server errors, %.0f cache hits)", hits)
+	}
+	return nil
+}
+
+// mergeRows folds this run's rows into the shared benchmark trajectory:
+// rows with the same op are replaced, all other rows (dtbench's and other
+// labels') are preserved in order.
+func mergeRows(path string, rows []loadRow) error {
+	var existing []json.RawMessage
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &existing); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	replaced := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		replaced[r.Op] = true
+	}
+	merged := existing[:0]
+	for _, raw := range existing {
+		var probe struct {
+			Op string `json:"op"`
+		}
+		if json.Unmarshal(raw, &probe) == nil && replaced[probe.Op] {
+			continue
+		}
+		merged = append(merged, raw)
+	}
+	for _, r := range rows {
+		enc, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		merged = append(merged, enc)
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -16,8 +16,10 @@
 //
 //	dtnode -config cluster.json -name node-a-replica -follow -primary 127.0.0.1:7101
 //
-// -healthz serves GET /healthz (JSON: node name, shard generations) on a
-// separate HTTP listener.
+// -healthz serves GET /healthz (JSON: node name, shard generations) and
+// GET /metrics (Prometheus text format: wire op latency and failures,
+// replication pulls) on a separate HTTP listener; -pprof additionally
+// mounts net/http/pprof there.
 //
 // With -data-dir the node is durable: every replicated mutation is
 // appended to a per-shard CRC-framed WAL before it is acknowledged, a
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,7 +57,8 @@ func main() {
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening")
 	follow := flag.Bool("follow", false, "run as a read-only replica pulling from -primary")
 	primary := flag.String("primary", "", "replica mode: primary node address to pull from")
-	healthz := flag.String("healthz", "", "serve GET /healthz on this address")
+	healthz := flag.String("healthz", "", "serve GET /healthz and /metrics on this address")
+	pprof := flag.Bool("pprof", false, "also mount net/http/pprof on the -healthz listener")
 	pullEvery := flag.Duration("pull-interval", 50*time.Millisecond, "replica mode: replication pull interval")
 	dataDir := flag.String("data-dir", "", "persist shards here (WAL + checkpoint); empty runs memory-only")
 	flag.Parse()
@@ -110,7 +114,15 @@ func main() {
 		}
 	}
 	if *healthz != "" {
-		hs := &http.Server{Addr: *healthz, Handler: node.HealthHandler(), ReadHeaderTimeout: 5 * time.Second}
+		// The ops listener carries health, the process-wide metrics (wire
+		// op counts and latency, replication pulls), and optionally pprof.
+		mux := http.NewServeMux()
+		mux.Handle("/healthz", node.HealthHandler())
+		mux.Handle("GET /metrics", obs.Default().Handler())
+		if *pprof {
+			obs.RegisterPprof(mux)
+		}
+		hs := &http.Server{Addr: *healthz, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("healthz: %v", err)

@@ -14,6 +14,13 @@
 // /v1/show, POST /v1/ingest/text /v1/ingest/records /v1/flush, GET
 // /v1/live/stats. The unversioned legacy routes remain as deprecated
 // shims for one release.
+//
+// The serving tier is production-shaped by default: Prometheus-format
+// metrics at GET /metrics and a generation-keyed response cache with
+// strong ETags are on (disable with -no-metrics / -cache-bytes=-1), and
+// per-client rate limiting (-rate/-burst), admission control
+// (-max-inflight/-max-queue, shedding 429 + Retry-After), and pprof
+// (-pprof) are opt-in.
 package main
 
 import (
@@ -44,6 +51,13 @@ func main() {
 	flushEvery := flag.Duration("flush-interval", 200*time.Millisecond, "live mode: partial-batch apply interval")
 	fsync := flag.Bool("fsync", false, "live mode: fsync the WAL on every append")
 	clusterPath := flag.String("cluster", "", "cluster mode: cluster.json membership file; shards are served by dtnode processes")
+	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes (0 = 32 MB default, negative disables)")
+	rate := flag.Float64("rate", 0, "per-client rate limit in requests/sec (0 disables)")
+	burst := flag.Int("burst", 0, "rate-limit burst size (0 = ceil(rate))")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently running handlers (0 disables)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: max requests queued for a slot before shedding 429")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	noMetrics := flag.Bool("no-metrics", false, "disable instrumentation and GET /metrics")
 	flag.Parse()
 
 	// The pipeline's lifecycle context stays uncancelled: cancelling it
@@ -90,14 +104,32 @@ func main() {
 		log.Printf("live ingestion on (wal: %s)", *walDir)
 	}
 
+	handler := tm.HandlerOptions(datatamer.ServeOptions{
+		CacheBytes:     *cacheBytes,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		DisableMetrics: *noMetrics,
+		Pprof:          *pprof,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           tm.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (API: /v1)", *addr)
+	if !*noMetrics {
+		log.Printf("metrics on GET /metrics")
+	}
+	if *rate > 0 {
+		log.Printf("rate limit: %.1f req/s per client (burst %d)", *rate, *burst)
+	}
+	if *maxInflight > 0 {
+		log.Printf("admission control: %d in flight, %d queued", *maxInflight, *maxQueue)
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

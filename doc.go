@@ -28,7 +28,16 @@
 //     crash by replaying the WAL over the last checkpoint;
 //   - a versioned HTTP surface (internal/serve, /v1 with a uniform
 //     response envelope and pagination) and a Go client SDK for it
-//     (repro/client);
+//     (repro/client). Handler wraps the routes in production middleware:
+//     a response cache keyed to the pipeline's data generation (strong
+//     ETags, If-None-Match revalidation) plus opt-in per-client rate
+//     limiting and admission control (ServeOptions/HandlerOptions), both
+//     shedding with 429 + Retry-After that the SDK honors;
+//   - dependency-free observability (internal/obs): a Prometheus-text
+//     -format registry of counters, gauges and latency histograms, wired
+//     through every HTTP route, the response cache, admission control,
+//     and the cluster transport, served at GET /metrics (see
+//     MetricsHandler for embedders);
 //   - cluster mode (internal/cluster, cmd/dtnode): shards served by
 //     separate node processes over a CRC-framed binary protocol, with
 //     placement-compatible routing, optional read replicas behind a

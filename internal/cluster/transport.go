@@ -10,8 +10,47 @@ import (
 	"time"
 
 	"repro/dterr"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
+
+// Transport call instrumentation, recorded into the process-wide
+// registry: latency per wire op and failures per (op, dterr code). A
+// coordinator under load can attribute tail latency to the shard RPCs
+// behind it by scraping dtserver's /metrics; dtnode exposes the same
+// series for its replication pulls.
+var (
+	callLatency = obs.Default().Histogram("dt_cluster_call_seconds",
+		"Cluster transport call latency in seconds, by wire op.", nil, "op")
+	callErrors = obs.Default().Counter("dt_cluster_call_errors_total",
+		"Cluster transport call failures, by wire op and error code.", "op", "code")
+)
+
+// opNames maps wire op codes to their metric labels.
+var opNames = map[byte]string{
+	OpPing: "ping", OpInsert: "insert", OpUpdate: "update",
+	OpDelete: "delete", OpFind: "find", OpCount: "count",
+	OpCountWhere: "count_where", OpDistinct: "distinct", OpStats: "stats",
+	OpSnapshot: "snapshot", OpCreateIndex: "create_index",
+	OpCreateTextIndex: "create_text_index", OpPull: "pull",
+	OpInfo: "info", OpCheckpoint: "checkpoint",
+}
+
+func opName(op byte) string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	return "unknown"
+}
+
+// observeCall records one finished transport exchange.
+func observeCall(op byte, start time.Time, err error) {
+	name := opName(op)
+	callLatency.With(name).Observe(time.Since(start).Seconds())
+	if err != nil {
+		callErrors.With(name, string(dterr.CodeOf(err))).Inc()
+	}
+}
 
 // Transport carries one request to a node and returns its response.
 // Implementations classify every failure under the dterr taxonomy:
@@ -84,7 +123,16 @@ func (t *TCPTransport) Addr() string { return t.addr }
 
 // Call implements Transport. The context deadline (or the transport's
 // default timeout) becomes the socket deadline for the whole exchange.
+// Every call records its latency and failure code into the transport
+// metrics above.
 func (t *TCPTransport) Call(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	resp, err := t.call(ctx, req)
+	observeCall(req.Op, start, err)
+	return resp, err
+}
+
+func (t *TCPTransport) call(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}

@@ -110,6 +110,14 @@ type Tamer struct {
 	// the entity store actually changed.
 	entityGen atomic.Uint64
 	top       topCache
+
+	// dataGen counts every mutation that can change a read result —
+	// fragment applies, record applies, consolidation, store swaps,
+	// checkpoint restores. The serve tier keys its response cache (and the
+	// ETags it hands out) to this value, so bumping here IS the cache
+	// invalidation: it must happen on every write path, including the
+	// batch-mode ApplyRecords path that bypasses the live ingester.
+	dataGen atomic.Uint64
 }
 
 // New builds a pipeline with the given configuration.
@@ -158,7 +166,17 @@ func (t *Tamer) SetStores(instances, entities *store.Sharded) {
 	t.Query.Instances = instances
 	t.Query.Entities = entities
 	t.entityGen.Add(1)
+	t.dataGen.Add(1)
 }
+
+// DataGeneration returns the current data generation: a counter bumped
+// after every completed mutation (fragment apply, record apply,
+// consolidation, restore). Two reads under the same generation observe
+// the same data, which is what makes the value usable as a response-cache
+// key and ETag component. The converse does not hold — a bump does not
+// guarantee the results differ — so a generation change invalidates
+// conservatively.
+func (t *Tamer) DataGeneration() uint64 { return t.dataGen.Load() }
 
 // Stages returns the per-stage reports of the last Run.
 func (t *Tamer) Stages() []StageReport { return t.stages }
@@ -404,6 +422,7 @@ func (t *Tamer) CleanAndConsolidate(ctx context.Context) error {
 	t.view = newFusedView(consolidate(translated, t.matcherLocked()))
 	t.pending = nil
 	t.fusedDirty = false
+	t.dataGen.Add(1)
 	t.stage("clean-consolidate", len(t.view.records), start)
 	return nil
 }

@@ -48,10 +48,11 @@ func (t *Tamer) ApplyFragments(ctx context.Context, frags []datagen.Fragment, wo
 			entities++
 		}
 	}
-	// Bump the entity generation only after every insert landed, so a
-	// ranking cached during the batch is keyed to the pre-batch generation
-	// and the first query after this return recomputes.
+	// Bump the generations only after every insert landed, so a ranking or
+	// HTTP response cached during the batch is keyed to the pre-batch
+	// generation and the first query after this return recomputes.
 	t.entityGen.Add(1)
+	t.dataGen.Add(1)
 	return len(results), entities, nil
 }
 
@@ -107,6 +108,12 @@ func (t *Tamer) ApplyRecords(ctx context.Context, source string, recs []*record.
 	t.Cleaner.ApplyAll(translated)
 	t.pending = append(t.pending, translated...)
 	t.fusedDirty = true
+	// Invalidate serve-tier caches immediately — fused queries refresh
+	// lazily from the dirty flag, so results change as of this return, not
+	// at the eventual RefreshFused. This path runs with or without the
+	// live ingester (batch-mode ApplyRecords included), which is what
+	// keeps a conditional GET from revalidating a stale 304 after a write.
+	t.dataGen.Add(1)
 	return len(recs), nil
 }
 
@@ -202,4 +209,5 @@ func (t *Tamer) RestoreFused(recs []*record.Record) {
 	t.view = newFusedView(recs)
 	t.pending = nil
 	t.fusedDirty = false
+	t.dataGen.Add(1)
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the per-route instrumentation bundle the middleware
+// records into. One bundle per registry; route labels keep cardinality
+// bounded because the caller maps requests onto its known route set.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, method, code
+	inFlight *GaugeVec     // route
+	latency  *HistogramVec // route
+}
+
+// NewHTTPMetrics registers the HTTP serving series in reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.Counter("dt_http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"route", "method", "code"),
+		inFlight: reg.Gauge("dt_http_in_flight",
+			"HTTP requests currently being served, by route.",
+			"route"),
+		latency: reg.Histogram("dt_http_request_seconds",
+			"HTTP request latency in seconds, by route.",
+			nil, "route"),
+	}
+}
+
+// statusWriter captures the response status for the requests counter.
+// WriteHeader-less handlers imply 200 on first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Middleware wraps next, recording request count, in-flight gauge, and
+// latency under the route label produced by route(r). Callers normalize
+// the route to a bounded set (e.g. the mux's registered patterns, with
+// unknown paths collapsed to "other") so label cardinality stays fixed.
+func (m *HTTPMetrics) Middleware(route func(*http.Request) string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := route(r)
+		g := m.inFlight.With(rt)
+		g.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		g.Dec()
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.requests.With(rt, r.Method, strconv.Itoa(status)).Inc()
+		m.latency.With(rt).Observe(elapsed.Seconds())
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/ — the opt-in profiling surface of dtserver and dtnode.
+// It exists so the cmds never import net/http/pprof directly (whose
+// side-effecting init would silently expose profiles on the default mux).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/dterr"
+	"repro/internal/obs"
+)
+
+// The serving middleware chain, outermost first:
+//
+//	metrics → rate limit → response cache → admission → mux
+//
+// Metrics wrap everything so 429s and cache hits are counted like any
+// other response. The rate limit sits before the cache — a client over
+// its budget is shed even for cached reads, so the limit means what it
+// says. The cache sits before admission control: a cache hit costs a map
+// probe and a body copy, so it would be wasteful to make hits queue
+// behind expensive recomputes; admission bounds only the requests that
+// actually reach the handlers. /healthz, /metrics, and /debug/pprof are
+// exempt from rate limiting and admission (liveness probes and scrapers
+// must not be shed by the very overload they exist to observe).
+
+// ServerOption configures the middleware chain around a Server.
+type ServerOption func(*serverOpts)
+
+type serverOpts struct {
+	reg        *obs.Registry
+	generation func() uint64
+	cacheBytes int64 // 0 = default when generation set; < 0 disables
+	rate       float64
+	burst      int
+	maxActive  int
+	maxQueue   int
+	pprof      bool
+}
+
+// WithMetrics records request, latency, cache, and admission series into
+// reg and mounts GET /metrics on the server.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(o *serverOpts) { o.reg = reg }
+}
+
+// WithGeneration supplies the data-generation source that keys the
+// response cache and the ETags handed to clients. Without it the cache
+// stays off — there is no safe invalidation signal.
+func WithGeneration(fn func() uint64) ServerOption {
+	return func(o *serverOpts) { o.generation = fn }
+}
+
+// WithCacheBytes bounds the response cache's memory (default 32 MB when a
+// generation source is configured). Negative disables caching entirely.
+func WithCacheBytes(n int64) ServerOption {
+	return func(o *serverOpts) { o.cacheBytes = n }
+}
+
+// WithRateLimit enables per-client token-bucket rate limiting: rps
+// requests per second sustained, bursting to burst (default: ceil(rps)).
+// Clients are keyed by X-API-Key when present, else by remote address.
+func WithRateLimit(rps float64, burst int) ServerOption {
+	return func(o *serverOpts) { o.rate, o.burst = rps, burst }
+}
+
+// WithAdmission bounds concurrent handler work: at most maxActive
+// requests run at once and at most maxQueue wait for a slot; beyond that
+// requests are shed with 429 and a Retry-After hint before any query
+// work starts.
+func WithAdmission(maxActive, maxQueue int) ServerOption {
+	return func(o *serverOpts) { o.maxActive, o.maxQueue = maxActive, maxQueue }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — opt-in, since
+// profiles expose internals and cost CPU while running.
+func WithPprof() ServerOption {
+	return func(o *serverOpts) { o.pprof = true }
+}
+
+// exemptPath reports whether the operational endpoints bypass rate
+// limiting and admission control.
+func exemptPath(path string) bool {
+	return path == "/healthz" || path == "/metrics" ||
+		len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof"
+}
+
+// writeBusyRetry writes the envelope 429 with a Retry-After hint.
+func writeBusyRetry(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, dterr.New(dterr.CodeBusy, msg))
+}
+
+// ---- route normalization ------------------------------------------------
+
+// routeLabel maps a request onto the server's registered route set so the
+// metrics label cardinality stays bounded: known paths label as
+// themselves, everything else collapses to "other".
+func (s *Server) routeLabel(r *http.Request) string {
+	if s.routes[r.URL.Path] {
+		return r.URL.Path
+	}
+	return "other"
+}
+
+// ---- rate limiting ------------------------------------------------------
+
+// clientKey identifies the token bucket a request draws from: the
+// X-API-Key header when the caller authenticates, else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// maxBuckets bounds the limiter's client table; past it, buckets idle
+// long enough to have fully refilled are evicted (they would admit the
+// same burst as a fresh bucket, so eviction loses nothing).
+const maxBuckets = 4096
+
+// tokenBucket is one client's budget under the lazy-refill scheme.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token bucket table. Lock granularity is the
+// whole table — admission is a few float ops, so contention is cheaper
+// than per-bucket locks plus a concurrent map.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Ceil(rps)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rps: rps, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow draws one token for key, reporting how long until a token exists
+// when the bucket is empty.
+func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tb, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= maxBuckets {
+			l.evictLocked(now)
+		}
+		tb = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = tb
+	} else {
+		tb.tokens = math.Min(l.burst, tb.tokens+now.Sub(tb.last).Seconds()*l.rps)
+		tb.last = now
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - tb.tokens) / l.rps * float64(time.Second))
+}
+
+// evictLocked drops buckets idle long enough to have refilled completely.
+func (l *rateLimiter) evictLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rps * float64(time.Second))
+	for k, tb := range l.buckets {
+		if now.Sub(tb.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// rateLimitMiddleware sheds over-budget clients with 429 + Retry-After.
+func (s *Server) rateLimitMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, retryAfter := s.limiter.allow(clientKey(r), time.Now())
+		if !ok {
+			if s.admissionDrops != nil {
+				s.admissionDrops.With(s.routeLabel(r), "rate").Inc()
+			}
+			writeBusyRetry(w, retryAfter, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ---- admission control --------------------------------------------------
+
+// admission is a counting semaphore with a bounded wait queue: maxActive
+// requests run, maxQueue wait, and everything beyond is shed immediately —
+// under overload the server answers 429 in microseconds instead of
+// stacking goroutines until every response is slow.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+	waiting  int64
+	mu       sync.Mutex
+}
+
+func newAdmission(maxActive, maxQueue int) *admission {
+	return &admission{slots: make(chan struct{}, maxActive), maxQueue: maxQueue}
+}
+
+// tryEnter claims a slot, queueing up to the bound. shed=true means the
+// queue was full; err is a context cancellation while waiting.
+func (a *admission) tryEnter(r *http.Request) (release func(), shed bool, err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, false, nil
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= int64(a.maxQueue) {
+		a.mu.Unlock()
+		return nil, true, nil
+	}
+	a.waiting++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, false, nil
+	case <-r.Context().Done():
+		return nil, false, dterr.FromContext(r.Context().Err())
+	}
+}
+
+// admissionMiddleware bounds concurrent handler work, shedding with 429.
+func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, shed, err := s.adm.tryEnter(r)
+		if shed {
+			if s.admissionDrops != nil {
+				s.admissionDrops.With(s.routeLabel(r), "queue").Inc()
+			}
+			writeBusyRetry(w, time.Second, "server overloaded; admission queue full")
+			return
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -30,6 +30,14 @@
 // /cheapest, /ingest/*, /flush, /live/stats) remain as deprecated shims
 // for one release; they keep their pre-/v1 response shapes and send a
 // Deprecation header pointing at the /v1 successor.
+//
+// Production serving middleware (opt-in through ServerOptions) wraps the
+// whole route tree, legacy shims included: per-route metrics
+// (internal/obs, exposed at GET /metrics), per-client token-bucket rate
+// limiting, queue-depth admission control shedding with 429 +
+// Retry-After, and a data-generation-keyed response cache with strong
+// ETags and If-None-Match revalidation for the read-only /v1 GET routes.
+// See middleware.go and cache.go.
 package serve
 
 import (
@@ -43,6 +51,7 @@ import (
 	"repro/internal/fuse"
 	"repro/internal/ingest"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/store"
 )
@@ -83,17 +92,29 @@ type Server struct {
 	q   Querier
 	ing Ingestor // nil in read-only (batch) mode
 	mux *http.ServeMux
+
+	opts    serverOpts
+	routes  map[string]bool // registered paths, for bounded metric labels
+	handler http.Handler    // mux wrapped in the middleware chain
+
+	cache          *respCache   // nil when caching is off
+	limiter        *rateLimiter // nil when rate limiting is off
+	adm            *admission   // nil when admission control is off
+	admissionDrops *obs.CounterVec
 }
 
 // New builds a read-only server over an already-run pipeline.
-func New(q Querier) *Server { return NewLive(q, nil) }
+func New(q Querier, opts ...ServerOption) *Server { return NewLive(q, nil, opts...) }
 
 // NewLive builds a server over a pipeline with streaming writes enabled
 // through ing; a nil ingester serves the write endpoints as unavailable.
 // Pass an untyped nil (or use New) — a typed nil pointer in a non-nil
 // interface would slip past the availability check.
-func NewLive(q Querier, ing Ingestor) *Server {
+func NewLive(q Querier, ing Ingestor, opts ...ServerOption) *Server {
 	s := &Server{q: q, ing: ing, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(&s.opts)
+	}
 
 	// Liveness probe: process is up and serving. Unversioned by convention
 	// (load balancers and the cluster's dtnode expose the same path).
@@ -124,11 +145,69 @@ func NewLive(q Querier, ing Ingestor) *Server {
 	s.mux.HandleFunc("POST /ingest/records", deprecated("/v1/ingest/records", s.handleIngestRecords))
 	s.mux.HandleFunc("POST /flush", deprecated("/v1/flush", s.handleFlush))
 	s.mux.HandleFunc("GET /live/stats", deprecated("/v1/live/stats", s.handleLiveStats))
+
+	s.routes = map[string]bool{
+		"/healthz": true, "/metrics": true,
+		"/v1/stats": true, "/v1/types": true, "/v1/top": true,
+		"/v1/cheapest": true, "/v1/find": true, "/v1/show": true,
+		"/v1/ingest/text": true, "/v1/ingest/records": true,
+		"/v1/flush": true, "/v1/live/stats": true,
+		"/stats": true, "/types": true, "/top": true, "/show": true,
+		"/find": true, "/cheapest": true, "/ingest/text": true,
+		"/ingest/records": true, "/flush": true, "/live/stats": true,
+	}
+	s.assembleChain()
 	return s
 }
 
+// assembleChain wraps the mux in the configured middleware, outermost
+// last in this function: metrics → rate limit → cache → admission → mux.
+// Every route — /v1 and the deprecated legacy shims alike — passes
+// through the same chain, so metrics and admission cannot be bypassed by
+// calling an old path.
+func (s *Server) assembleChain() {
+	if s.opts.reg != nil {
+		s.mux.Handle("GET /metrics", s.opts.reg.Handler())
+		if s.opts.pprof {
+			obs.RegisterPprof(s.mux)
+		}
+	}
+
+	h := http.Handler(s.mux)
+	if s.opts.maxActive > 0 {
+		s.adm = newAdmission(s.opts.maxActive, s.opts.maxQueue)
+		h = s.admissionMiddleware(h)
+	}
+	cacheBytes := s.opts.cacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = defaultCacheBytes
+	}
+	if s.opts.generation != nil && cacheBytes > 0 {
+		// Cache counters register even without an exposed registry so the
+		// middleware never nil-checks them; they surface on /metrics only
+		// when WithMetrics is configured.
+		reg := s.opts.reg
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		s.cache = newRespCache(cacheBytes, reg)
+		h = s.cacheMiddleware(h)
+	}
+	if s.opts.rate > 0 {
+		s.limiter = newRateLimiter(s.opts.rate, s.opts.burst)
+		h = s.rateLimitMiddleware(h)
+	}
+	if s.opts.reg != nil {
+		s.admissionDrops = s.opts.reg.Counter("dt_admission_dropped_total",
+			"Requests shed before handler work, by route and reason (rate|queue).",
+			"route", "reason")
+		h = obs.NewHTTPMetrics(s.opts.reg).Middleware(s.routeLabel, h)
+	}
+	s.handler = h
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // deprecated marks a legacy handler's responses with the successor route.
 func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
