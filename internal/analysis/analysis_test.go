@@ -1,0 +1,96 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/astq"
+	"repro/internal/analysis/load"
+)
+
+// testcheck flags every call to a function named "bad".
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls to bad()",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := astq.Callee(pass.TypesInfo, call); fn != nil && fn.Name() == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestSuppressionMechanics drives fixture d through the real driver:
+// directives on or above the finding line suppress, directives for
+// analyzers that did not run do not.
+func TestSuppressionMechanics(t *testing.T) {
+	analysistest.Run(t, "testdata", testcheck, "d")
+}
+
+// TestMalformedAndUnusedDirectives checks the dtlint pseudo-findings by
+// hand: fixture e holds a reason-less directive and one that suppresses
+// nothing, and both must surface as findings in their own right.
+func TestMalformedAndUnusedDirectives(t *testing.T) {
+	pkgs := []*analysis.Package{loadFixture(t, "e")}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{testcheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, unused int
+	for _, f := range findings {
+		if f.Analyzer != "dtlint" {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "malformed suppression"):
+			malformed++
+		case strings.Contains(f.Message, "unused suppression"):
+			unused++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("malformed directive findings = %d, want 1", malformed)
+	}
+	if unused != 1 {
+		t.Errorf("unused directive findings = %d, want 1", unused)
+	}
+}
+
+// loadFixture parses and type-checks one single-file fixture package with
+// stdlib-only imports, returning it in the driver's package form.
+func loadFixture(t *testing.T, name string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join("testdata", "src", name, name+".go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: load.StdImporter(fset)}
+	tpkg, err := conf.Check(name, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Package{PkgPath: name, Fset: fset, Files: []*ast.File{file}, Types: tpkg, TypesInfo: info}
+}

@@ -1,0 +1,206 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its findings against expectations written in the fixtures, the
+// project mirror of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<pkgpath>/*.go. A fixture file marks
+// each line where a finding is expected with a trailing comment:
+//
+//	x := bad() // want `regexp matching the finding message`
+//
+// Multiple backquoted regexps on one line expect multiple findings.
+// Fixture packages may import each other by their testdata-relative
+// paths; all other imports resolve to the standard library, type-checked
+// from source. Suppression directives (//lint:dtlint-allow) are honored
+// exactly as in the real driver, so fixtures can assert both that a
+// pattern is flagged and that a documented suppression silences it.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one `// want` regexp at a file position.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE pulls backquoted (or double-quoted) regexps out of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// fixtureImporter resolves fixture-local packages first, then falls back
+// to the standard library from source.
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.local[path]; ok {
+		return pkg, nil
+	}
+	return im.std.Import(path)
+}
+
+// Run loads each fixture package under testdata/src, runs a over the ones
+// named by pkgpaths (their fixture-local dependencies are loaded but not
+// analyzed), and reports mismatches between findings and `// want`
+// expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := &fixtureImporter{local: make(map[string]*types.Package), std: load.StdImporter(fset)}
+
+	loaded := make(map[string]*analysis.Package)
+	loading := make(map[string]bool)
+	var loadPkg func(path string) (*analysis.Package, error)
+	loadPkg = func(path string) (*analysis.Package, error) {
+		if pkg, ok := loaded[path]; ok {
+			return pkg, nil
+		}
+		if loading[path] {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+		loading[path] = true
+		defer delete(loading, path)
+
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		// Load fixture-local imports first so the importer can see them.
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if _, err := os.Stat(filepath.Join(testdata, "src", filepath.FromSlash(p))); err == nil {
+					if _, err := loadPkg(p); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		sizes := types.SizesFor("gc", runtime.GOARCH)
+		if sizes == nil {
+			sizes = types.SizesFor("gc", "amd64")
+		}
+		conf := types.Config{Importer: im, Sizes: sizes}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+		}
+		im.local[path] = tpkg
+		pkg := &analysis.Package{PkgPath: path, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+		loaded[path] = pkg
+		return pkg, nil
+	}
+
+	var pkgs []*analysis.Package
+	for _, path := range pkgpaths {
+		pkg, err := loadPkg(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	// Collect expectations from the analyzed packages' comments.
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					idx := strings.Index(text, "want ")
+					if idx < 0 || !strings.HasPrefix(text, "//") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("analysistest: %s: bad want regexp %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

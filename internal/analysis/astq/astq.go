@@ -1,0 +1,112 @@
+// Package astq holds the small ast/types query helpers the dtlint
+// analyzers share: static callee resolution, package-tail matching, and
+// constant extraction. Kept deliberately tiny — anything an analyzer
+// needs once lives in the analyzer.
+package astq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the static *types.Func a call invokes: a package
+// function, a method (value or pointer receiver), or nil for builtins,
+// type conversions, and calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// PkgTail returns the last slash-separated element of an import path —
+// the piece analyzers match on so fixtures ("a/dterr") and the real tree
+// ("repro/dterr") satisfy the same rules.
+func PkgTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// FromPkg reports whether fn is declared in a package whose import path
+// ends in tail.
+func FromPkg(fn *types.Func, tail string) bool {
+	return fn != nil && fn.Pkg() != nil && PkgTail(fn.Pkg().Path()) == tail
+}
+
+// ConstString returns the compile-time string value of expr, if it has one.
+func ConstString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// FuncKey renders decl as "Name" or "(*Recv).Name" / "Recv.Name", the
+// form allowlists use.
+func FuncKey(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	star := false
+	if p, ok := t.(*ast.StarExpr); ok {
+		star = true
+		t = p.X
+	}
+	// Strip type parameters on generic receivers.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if star {
+		return "(*" + name + ")." + decl.Name.Name
+	}
+	return name + "." + decl.Name.Name
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// NamedType returns the named type (through one pointer) of t, or nil.
+func NamedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsNamed reports whether t is (a pointer to) the named type pkgTail.name.
+func IsNamed(t types.Type, pkgTail, name string) bool {
+	named := NamedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && PkgTail(obj.Pkg().Path()) == pkgTail
+}

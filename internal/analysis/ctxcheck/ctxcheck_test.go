@@ -1,0 +1,33 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxcheck"
+)
+
+// allow registers fixture allowlist entries for one test.
+func allow(t *testing.T, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if _, ok := ctxcheck.Allowlist[k]; ok {
+			t.Fatalf("allowlist already has %q", k)
+		}
+		ctxcheck.Allowlist[k] = "fixture"
+	}
+	t.Cleanup(func() {
+		for _, k := range keys {
+			delete(ctxcheck.Allowlist, k)
+		}
+	})
+}
+
+func TestLibraryPackage(t *testing.T) {
+	allow(t, "a.Allowed", "a.AllowedHolder.ctx")
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "a")
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "mainpkg")
+}

@@ -1,0 +1,84 @@
+// Package a is the ctxcheck fixture: a non-main library package where
+// contexts must be threaded, forwarded, and never stored.
+package a
+
+import "context"
+
+// Minting a fresh context in a library function is flagged.
+
+func Mints() {
+	ctx := context.Background() // want `context.Background\(\) outside a main package`
+	_ = ctx
+}
+
+func MintsTODO() {
+	_ = context.TODO() // want `context.TODO\(\) outside a main package`
+}
+
+// A function holding a ctx that mints another severs cancellation.
+
+func Refuses(ctx context.Context) {
+	uses(context.Background()) // want `Refuses receives ctx but calls context.Background\(\)`
+}
+
+func Forwards(ctx context.Context) {
+	uses(ctx)
+}
+
+func uses(ctx context.Context) { _ = ctx }
+
+// Store with legacy / context-aware method pairs: calling the legacy
+// form while holding a ctx drops cancellation.
+
+type Store struct{}
+
+func (s *Store) Find(q string) []string { return nil }
+
+func (s *Store) FindCtx(ctx context.Context, q string) ([]string, error) { return nil, nil }
+
+func (s *Store) count() int { return 0 }
+
+func DropsCtx(ctx context.Context, s *Store) []string {
+	return s.Find("q") // want `DropsCtx has ctx but calls Find, dropping cancellation; use FindCtx`
+}
+
+func UsesCtx(ctx context.Context, s *Store) ([]string, error) {
+	return s.FindCtx(ctx, "q")
+}
+
+// No Ctx sibling exists: nothing to prefer, no finding.
+func NoSibling(ctx context.Context, s *Store) int {
+	return s.count()
+}
+
+// Without a received ctx, calling the legacy form is fine (the
+// Background rule governs minting, not legacy calls).
+func NoCtxHere(s *Store) []string {
+	return s.Find("q")
+}
+
+// Contexts must not live in struct fields.
+
+type Holder struct {
+	ctx context.Context // want `context.Context stored in struct field Holder.ctx`
+}
+
+type CleanHolder struct {
+	name string
+}
+
+// Allowlisted names are exempt (the test registers these keys).
+
+func Allowed() {
+	_ = context.Background()
+}
+
+type AllowedHolder struct {
+	ctx context.Context
+}
+
+// Suppression with a documented reason silences one site.
+func SuppressedMint() {
+	//lint:dtlint-allow ctxcheck fixture demonstrates documented escape hatch
+	_ = context.Background()
+}

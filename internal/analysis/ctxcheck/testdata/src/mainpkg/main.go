@@ -1,0 +1,11 @@
+// Command mainpkg is the ctxcheck fixture for a main package: minting
+// root contexts at the process entry point is the intended pattern.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+}

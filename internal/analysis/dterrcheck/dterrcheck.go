@@ -1,0 +1,221 @@
+// Package dterrcheck enforces the typed-error contract of the public
+// boundaries (introduced in PR 2): every error an exported function in a
+// boundary package returns must be constructed or wrapped via dterr, so
+// the /v1 envelope and the cluster wire protocol carry its true code
+// instead of degrading it to "internal"; and error identity must never
+// be established by comparing message strings — that is what dterr codes
+// and errors.Is exist for.
+//
+// Boundary packages are the module root (the datatamer facade), client,
+// internal/serve, and internal/cluster. Matching is by import-path tail
+// so analysistest fixtures exercise the same rules.
+package dterrcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the dterrcheck instance the dtlint driver runs.
+var Analyzer = &analysis.Analyzer{
+	Name: "dterrcheck",
+	Doc: "exported functions in boundary packages must return dterr-classified errors, " +
+		"and error messages must never be compared as strings",
+	Run: run,
+}
+
+// boundary reports whether a package participates in the /v1 or cluster
+// wire contract.
+func boundary(pkgPath string) bool {
+	if pkgPath == "repro" {
+		return true
+	}
+	switch astq.PkgTail(pkgPath) {
+	case "serve", "client", "cluster":
+		return true
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	if !boundary(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if ast.IsExported(fd.Name.Name) {
+				checkBareErrors(pass, fd)
+			}
+		}
+		// String comparisons are wrong in unexported helpers too: the
+		// helper's verdict propagates to the boundary either way.
+		ast.Inspect(file, func(n ast.Node) bool {
+			checkStringCompare(pass, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareErrors flags errors.New/fmt.Errorf values that escape fd
+// through a return statement, directly or via a local variable.
+func checkBareErrors(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Objects of variables that some return statement hands to the caller,
+	// including named error results used by naked returns.
+	returned := make(map[types.Object]bool)
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(call *ast.CallExpr, what string) {
+		pass.Reportf(call.Pos(),
+			"exported %s returns a bare %s; construct or wrap the error with dterr so its code survives the /v1 and cluster wire boundaries",
+			fd.Name.Name, what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, what := bareErrCall(pass.TypesInfo, res); call != nil {
+					report(call, what)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, what := bareErrCall(pass.TypesInfo, rhs)
+				if call == nil {
+					continue
+				}
+				// Match rhs to lhs: 1:1 assignment or the single-rhs form.
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				} else if len(n.Rhs) == 1 {
+					lhs = n.Lhs[0]
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && returned[obj] {
+					report(call, what)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// bareErrCall reports whether expr is an errors.New or fmt.Errorf call
+// that does not wrap a dterr error, returning the call and a human name.
+func bareErrCall(info *types.Info, expr ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := astq.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, ""
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return call, "errors.New"
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		// fmt.Errorf("...: %w", err) with a *dterr.Error argument keeps
+		// the code reachable through the wrap chain; tolerate it.
+		if format, ok := astq.ConstString(info, call.Args[0]); ok && strings.Contains(format, "%w") {
+			for _, arg := range call.Args[1:] {
+				if tv, ok := info.Types[arg]; ok && astq.IsNamed(tv.Type, "dterr", "Error") {
+					return nil, ""
+				}
+			}
+		}
+		return call, "fmt.Errorf"
+	}
+	return nil, ""
+}
+
+// checkStringCompare flags comparisons and substring tests against
+// err.Error() results.
+func checkStringCompare(pass *analysis.Pass, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		if n.Op != token.EQL && n.Op != token.NEQ {
+			return
+		}
+		if isErrorString(pass.TypesInfo, n.X) || isErrorString(pass.TypesInfo, n.Y) {
+			pass.Reportf(n.Pos(), "error message compared by string; match on the code with errors.Is or dterr.CodeOf instead")
+		}
+	case *ast.CallExpr:
+		fn := astq.Callee(pass.TypesInfo, n)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+			return
+		}
+		switch fn.Name() {
+		case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+			for _, arg := range n.Args {
+				if isErrorString(pass.TypesInfo, arg) {
+					pass.Reportf(n.Pos(), "error message matched by substring; match on the code with errors.Is or dterr.CodeOf instead")
+					return
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if n.Tag != nil && isErrorString(pass.TypesInfo, n.Tag) {
+			pass.Reportf(n.Tag.Pos(), "error message switched on as a string; switch on dterr.CodeOf(err) instead")
+		}
+	}
+}
+
+// isErrorString reports whether expr is a call to the Error() method of
+// a value implementing the error interface.
+func isErrorString(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	fn := astq.Callee(info, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.Implements(sig.Recv().Type(), errorIface)
+}

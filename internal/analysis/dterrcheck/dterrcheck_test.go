@@ -1,0 +1,16 @@
+package dterrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/dterrcheck"
+)
+
+func TestBoundaryPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", dterrcheck.Analyzer, "serve")
+}
+
+func TestNonBoundaryPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", dterrcheck.Analyzer, "inner")
+}

@@ -1,0 +1,34 @@
+// Package dterr is a fixture stand-in for the repo's typed-error
+// package; dterrcheck matches it by import-path tail.
+package dterr
+
+import "fmt"
+
+type Code string
+
+const (
+	CodeInternal        Code = "internal"
+	CodeInvalidArgument Code = "invalid_argument"
+)
+
+type Error struct {
+	Code    Code
+	Message string
+	err     error
+}
+
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+func (e *Error) Unwrap() error { return e.err }
+
+func New(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }
+
+func Newf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, err: err}
+}

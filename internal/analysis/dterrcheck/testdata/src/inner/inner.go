@@ -1,0 +1,12 @@
+// Package inner is a dterrcheck fixture for a non-boundary package:
+// the same patterns produce no findings here.
+package inner
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Direct() error        { return errors.New("boom") }
+func Formatted() error     { return fmt.Errorf("boom") }
+func Compare(e error) bool { return e.Error() == "boom" }

@@ -1,0 +1,95 @@
+// Package serve is a dterrcheck fixture: its import-path tail marks it
+// as a boundary package, so exported functions must return dterr errors.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dterr"
+)
+
+// Exported functions returning bare constructors are flagged.
+
+func Direct() error {
+	return errors.New("boom") // want `exported Direct returns a bare errors.New`
+}
+
+func Formatted(n int) error {
+	return fmt.Errorf("bad shard %d", n) // want `exported Formatted returns a bare fmt.Errorf`
+}
+
+func ViaVariable() error {
+	err := errors.New("boom") // want `exported ViaVariable returns a bare errors.New`
+	return err
+}
+
+func NamedResult() (err error) {
+	err = fmt.Errorf("boom") // want `exported NamedResult returns a bare fmt.Errorf`
+	return
+}
+
+// Typed construction and wrapping pass.
+
+func Typed() error {
+	return dterr.New(dterr.CodeInternal, "boom")
+}
+
+func TypedWrap(err error) error {
+	return dterr.Wrap(dterr.CodeInternal, err)
+}
+
+// fmt.Errorf that wraps a *dterr.Error keeps the code reachable.
+func WrapsTyped(e *dterr.Error) error {
+	return fmt.Errorf("context: %w", e)
+}
+
+// Unexported functions may build raw errors; callers classify them.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// A local error that never escapes through a return is not flagged.
+func Swallows() error {
+	err := errors.New("probe")
+	if err != nil {
+		return dterr.Wrap(dterr.CodeInternal, err)
+	}
+	return nil
+}
+
+// String comparison of error messages is flagged wherever it appears.
+
+func CompareEq(err error) bool {
+	return err.Error() == "not found" // want `error message compared by string`
+}
+
+func CompareNeq(e *dterr.Error) bool {
+	return e.Error() != "busy" // want `error message compared by string`
+}
+
+func CompareContains(err error) bool {
+	return strings.Contains(err.Error(), "busy") // want `error message matched by substring`
+}
+
+func compareInHelper(err error) bool {
+	return err.Error() == "closed" // want `error message compared by string`
+}
+
+func SwitchOnMessage(err error) int {
+	switch err.Error() { // want `error message switched on as a string`
+	case "busy":
+		return 1
+	}
+	return 0
+}
+
+// Suppression with a documented reason silences a finding.
+func Suppressed() error {
+	//lint:dtlint-allow dterrcheck fixture demonstrates documented escape hatch
+	return errors.New("deliberate")
+}
+
+// Comparing non-error strings is fine.
+func StringsOK(a, b string) bool { return a == b && helper() == nil }

@@ -1,0 +1,152 @@
+// Package load turns `go list` package patterns into type-checked
+// analysis.Packages. It is the dtlint equivalent of
+// golang.org/x/tools/go/packages, built only on the standard library:
+// `go list -deps -json` resolves the build (with build-constraint
+// filtering and module-aware import resolution), and go/parser + go/types
+// check every package from source in the dependency order go list
+// already guarantees. CGO is disabled so cgo-optional packages resolve to
+// their pure-Go variants, which keeps source type-checking total.
+//
+// Only production sources are loaded: go list's GoFiles excludes _test.go
+// files, so the dtlint invariants are enforced on the shipped tree and
+// tests remain free to use context.Background(), raw errors, and so on.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// mapImporter resolves imports against the set of packages already
+// type-checked this run. go list hands us the full dependency closure in
+// topological order, so every import is present by the time it is needed.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("load: import %q not in dependency closure", path)
+}
+
+// Load resolves patterns relative to dir (a directory inside the module)
+// and returns the type-checked target packages — the ones the patterns
+// name, not their dependencies — in dependency order.
+func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,GoFiles,DepOnly,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("load: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	fset := token.NewFileSet()
+	imported := make(mapImporter)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+
+	var targets []*analysis.Package
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s: %w", lp.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer:    imported,
+			Sizes:       sizes,
+			FakeImportC: true,
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+		}
+		imported[lp.ImportPath] = tpkg
+		// Standard-library vendored packages are listed under a vendor/
+		// prefix but imported by their unprefixed path.
+		if rest, ok := strings.CutPrefix(lp.ImportPath, "vendor/"); ok {
+			imported[rest] = tpkg
+		}
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		targets = append(targets, &analysis.Package{
+			PkgPath:   lp.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return targets, nil
+}
+
+// The source importer below exists for analysistest, which loads fixture
+// trees that are not part of any module: fixture-local imports resolve
+// against the fixture set and everything else falls through to the
+// standard library, type-checked from GOROOT source.
+
+// StdImporter returns an importer that type-checks standard-library
+// packages from source, sharing fset.
+func StdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

@@ -1,0 +1,22 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestScopedPackage(t *testing.T) {
+	key := "store.(*Collection).Allowed"
+	if _, ok := lockcheck.Allowlist[key]; ok {
+		t.Fatalf("allowlist already has %q", key)
+	}
+	lockcheck.Allowlist[key] = "fixture"
+	t.Cleanup(func() { delete(lockcheck.Allowlist, key) })
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "store")
+}
+
+func TestUnscopedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "other")
+}

@@ -1,0 +1,5 @@
+// Package dep is a fixture dependency for lockcheck: calling into it
+// from under a lock in a scoped package is a cross-package call.
+package dep
+
+func Compute() int { return 42 }

@@ -1,0 +1,16 @@
+// Package other is the lockcheck fixture for an unscoped package: the
+// locking discipline applies only to store and cluster.
+package other
+
+import (
+	"os"
+	"sync"
+)
+
+type T struct{ mu sync.Mutex }
+
+func (t *T) HoldsAcrossIO() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = os.WriteFile("x", nil, 0o644)
+}

@@ -1,0 +1,106 @@
+// Package store is the lockcheck fixture: its import-path tail puts it
+// in scope, so critical sections must stay free of I/O, sends, and
+// cross-package calls.
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dep"
+)
+
+type Collection struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	docs []string
+	ch   chan int
+}
+
+func (c *Collection) helper() {}
+
+// I/O, sleeps, sends, and cross-package calls under the lock are flagged.
+
+func (c *Collection) Bad() {
+	c.mu.Lock()
+	_ = os.WriteFile("x", nil, 0o644) // want `I/O call os.WriteFile while holding c.mu`
+	time.Sleep(time.Second)           // want `time.Sleep while holding c.mu`
+	c.ch <- 1                         // want `channel send while holding c.mu`
+	_ = dep.Compute()                 // want `cross-package call dep.Compute while holding c.mu`
+	c.mu.Unlock()
+}
+
+// A deferred unlock holds the lock for the rest of the function.
+
+func (c *Collection) BadDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = dep.Compute() // want `cross-package call dep.Compute while holding c.mu`
+}
+
+// Read locks count: the discipline covers RLock too.
+
+func (c *Collection) BadRead() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return dep.Compute() // want `cross-package call dep.Compute while holding c.rw`
+}
+
+// After the unlock the same calls are fine.
+
+func (c *Collection) GoodAfterUnlock() {
+	c.mu.Lock()
+	c.docs = append(c.docs, "x")
+	c.mu.Unlock()
+	_ = os.WriteFile("x", nil, 0o644)
+	_ = dep.Compute()
+}
+
+// Pure computation and same-package calls are fine under the lock.
+
+func (c *Collection) GoodUnderLock() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Strings(c.docs)
+	c.helper()
+	return fmt.Sprintf("%d docs", len(c.docs))
+}
+
+// Spawning a goroutine under the lock is fine (the goroutine body runs
+// outside the critical section and is not entered).
+
+func (c *Collection) GoodSpawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() { _ = os.WriteFile("x", nil, 0o644) }()
+}
+
+// Holding one lock while operating under another tracks independently.
+
+func (c *Collection) TwoLocks() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.rw.Lock()
+	_ = dep.Compute() // want `cross-package call dep.Compute while holding c.rw`
+	c.rw.Unlock()
+}
+
+// Allowlisted functions are exempt (the test registers the key).
+
+func (c *Collection) Allowed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = os.WriteFile("x", nil, 0o644)
+}
+
+// Suppression with a documented reason silences one site.
+
+func (c *Collection) Suppressed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:dtlint-allow lockcheck fixture demonstrates documented escape hatch
+	_ = dep.Compute()
+}

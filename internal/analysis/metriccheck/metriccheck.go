@@ -1,0 +1,250 @@
+// Package metriccheck enforces the internal/obs metric conventions
+// introduced in PR 6:
+//
+//   - every family registered through Registry.Counter/Gauge/Histogram
+//     has a compile-time-constant name matching ^dt_[a-z0-9_]+$ and
+//     compile-time-constant label names, so the exposition is greppable
+//     and the series set is knowable from the source;
+//   - label values passed to With() must come from bounded sets: a value
+//     derived from raw request data (paths, methods, headers, hosts) or
+//     from err.Error() explodes series cardinality and is flagged;
+//   - a family may not be redeclared with a different kind or label set —
+//     the mistake the runtime registry can only catch by panicking is
+//     caught here at lint time, across packages.
+package metriccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// Analyzer is the metriccheck instance the dtlint driver runs.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccheck",
+	Doc: "obs metric names must be dt_-prefixed compile-time constants, label values " +
+		"must be bounded, and families must not be redeclared with mismatched shapes",
+	Run: run,
+}
+
+// NameRE is the required shape of a metric family name.
+var NameRE = regexp.MustCompile(`^dt_[a-z0-9_]+$`)
+
+// famDecl remembers the first registration of a family for cross-package
+// redeclaration checks.
+type famDecl struct {
+	kind   string
+	labels []string
+	site   string // rendered position of the first registration
+}
+
+func run(pass *analysis.Pass) error {
+	families, _ := pass.State["families"].(map[string]*famDecl)
+	if families == nil {
+		families = make(map[string]*famDecl)
+		pass.State["families"] = families
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			switch fn.Name() {
+			case "Counter", "Gauge", "Histogram":
+				if astq.IsNamed(recv, "obs", "Registry") {
+					checkRegistration(pass, families, call, fn.Name())
+				}
+			case "With":
+				if astq.IsNamed(recv, "obs", "CounterVec") ||
+					astq.IsNamed(recv, "obs", "GaugeVec") ||
+					astq.IsNamed(recv, "obs", "HistogramVec") {
+					checkLabelValues(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration validates one Registry.Counter/Gauge/Histogram call.
+func checkRegistration(pass *analysis.Pass, families map[string]*famDecl, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := astq.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant so the series set is knowable from the source")
+		return
+	}
+	if !NameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match ^dt_[a-z0-9_]+$", name)
+	}
+
+	// Label names follow (name, help) — histograms also carry a buckets
+	// argument before the variadic labels.
+	labelStart := 2
+	if kind == "Histogram" {
+		labelStart = 3
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis, "metric label names must be compile-time constants, not a spread slice")
+		return
+	}
+	var labels []string
+	for _, arg := range call.Args[labelStart:] {
+		v, ok := astq.ConstString(pass.TypesInfo, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), "metric label name must be a compile-time constant")
+			return
+		}
+		labels = append(labels, v)
+	}
+
+	site := pass.Fset.Position(call.Pos()).String()
+	prev, ok := families[name]
+	if !ok {
+		families[name] = &famDecl{kind: kind, labels: labels, site: site}
+		return
+	}
+	if prev.kind != kind || !equalStrings(prev.labels, labels) {
+		pass.Reportf(call.Pos(), "metric %q redeclared as %s%v; first declared as %s%v at %s — the runtime registry would panic",
+			name, kind, labels, prev.kind, prev.labels, prev.site)
+	}
+}
+
+// checkLabelValues flags With() arguments whose values derive from
+// unbounded inputs.
+func checkLabelValues(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if why := unbounded(pass, arg, 0); why != "" {
+			pass.Reportf(arg.Pos(), "metric label value derives from %s; map it onto a bounded set before labeling", why)
+		}
+	}
+}
+
+// unbounded classifies expr: non-empty result names the unbounded source.
+// depth bounds the local-variable chase.
+func unbounded(pass *analysis.Pass, expr ast.Expr, depth int) string {
+	if depth > 3 {
+		return ""
+	}
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if requestish(pass.TypesInfo, e.X) {
+			return fmt.Sprintf("request data (%s)", types.ExprString(e))
+		}
+		return unbounded(pass, e.X, depth+1)
+	case *ast.CallExpr:
+		fn := astq.Callee(pass.TypesInfo, e)
+		if fn != nil && fn.Name() == "Error" {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.Implements(sig.Recv().Type(), errorIface) {
+					return "an error string"
+				}
+			}
+		}
+		// A call whose receiver chain is rooted at request data
+		// (r.Header.Get, r.URL.Query, r.FormValue, ...).
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if requestish(pass.TypesInfo, sel.X) {
+				return fmt.Sprintf("request data (%s)", types.ExprString(e))
+			}
+			if why := unbounded(pass, sel.X, depth+1); why != "" {
+				return why
+			}
+		}
+		return ""
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		// Chase simple local assignments one definition deep: the scope
+		// holding the object is function-local when its parent chain does
+		// not reach package scope directly.
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+			if src := localDef(pass, e, obj); src != nil {
+				return unbounded(pass, src, depth+1)
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// requestish reports whether expr's static type carries raw request data.
+func requestish(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	return astq.IsNamed(t, "http", "Request") ||
+		astq.IsNamed(t, "url", "URL") ||
+		astq.IsNamed(t, "http", "Header") ||
+		astq.IsNamed(t, "url", "Values")
+}
+
+// localDef finds the expression most recently assigned to obj before use
+// within the enclosing file, a cheap single-level dataflow step.
+func localDef(pass *analysis.Pass, use *ast.Ident, obj types.Object) ast.Expr {
+	var src ast.Expr
+	for _, file := range pass.Files {
+		if file.Pos() <= use.Pos() && use.Pos() <= file.End() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Pos() >= use.Pos() {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					o := pass.TypesInfo.Defs[id]
+					if o == nil {
+						o = pass.TypesInfo.Uses[id]
+					}
+					if o != obj {
+						continue
+					}
+					if len(as.Lhs) == len(as.Rhs) {
+						src = as.Rhs[i]
+					}
+				}
+				return true
+			})
+		}
+	}
+	return src
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,18 @@
+package metriccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metriccheck"
+)
+
+func TestRegistrationAndLabels(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccheck.Analyzer, "m")
+}
+
+// TestCrossPackageRedeclaration loads m and m2 in one run: the analyzer's
+// shared state must carry m's registrations into m2.
+func TestCrossPackageRedeclaration(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccheck.Analyzer, "m", "m2")
+}

@@ -1,0 +1,76 @@
+// Package m is the metriccheck fixture: registration shapes and label
+// value boundedness.
+package m
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"obs"
+)
+
+const goodName = "dt_requests_total"
+
+var reg = obs.NewRegistry()
+
+// Constant names matching ^dt_[a-z0-9_]+$ pass, in literal or const form.
+var ok1 = reg.Counter("dt_http_requests_total", "requests", "route", "code")
+var ok2 = reg.Gauge(goodName+"_active", "active")
+var ok3 = reg.Histogram("dt_latency_seconds", "latency", nil, "route")
+
+// Bad names and non-constant shapes are flagged.
+var bad1 = reg.Counter("http_requests", "no prefix") // want `metric name "http_requests" does not match`
+var bad2 = reg.Gauge("dt_Upper", "case")             // want `metric name "dt_Upper" does not match`
+
+func dynamicName(n string) *obs.CounterVec {
+	return reg.Counter("dt_"+n, "dynamic") // want `metric name must be a compile-time constant`
+}
+
+func dynamicLabel(l string) *obs.CounterVec {
+	return reg.Counter("dt_oops_total", "dynamic label", l) // want `metric label name must be a compile-time constant`
+}
+
+// Redeclaring a family with a different kind or label set is flagged at
+// the second site, which the runtime registry can only catch by panic.
+var redeclared = reg.Gauge("dt_http_requests_total", "as gauge") // want `metric "dt_http_requests_total" redeclared as Gauge`
+
+// Label values from bounded sources pass.
+func observe(route string, status int) {
+	ok1.With(route, strconv.Itoa(status)).Inc()
+	ok1.With("static", "200").Inc()
+}
+
+// Label values derived from raw request data or error strings are
+// flagged: they explode series cardinality.
+func handler(r *http.Request, err error) {
+	ok1.With(r.Method, "200").Inc()               // want `request data \(r\.Method\)`
+	ok1.With(r.URL.Path, "200").Inc()             // want `request data \(r\.URL\.Path\)`
+	ok1.With(r.Header.Get("X-Tenant"), "x").Inc() // want `request data`
+	ok1.With("route", err.Error()).Inc()          // want `an error string`
+
+	p := r.URL.Path
+	ok1.With(p, "200").Inc() // want `request data`
+}
+
+// A value laundered through a bounding function is fine: the analyzer
+// taints data, not variables that passed through a mapping.
+func bounded(r *http.Request) {
+	route := normalize(r)
+	ok1.With(route, "200").Inc()
+}
+
+func normalize(r *http.Request) string {
+	if r.URL.Path == "/v1/stats" {
+		return "stats"
+	}
+	return "other"
+}
+
+// Suppression with a documented reason silences one site.
+func suppressed(r *http.Request) {
+	//lint:dtlint-allow metriccheck fixture demonstrates documented escape hatch
+	ok1.With(r.Method, "200").Inc()
+}
+
+var _ = errors.New

@@ -1,0 +1,11 @@
+// Package m2 is the cross-package half of the metriccheck redeclaration
+// fixture: it redeclares a family package m already registered, with a
+// different label set, and must be flagged even though the two sites are
+// in different packages.
+package m2
+
+import "obs"
+
+var reg = obs.NewRegistry()
+
+var clash = reg.Counter("dt_http_requests_total", "requests", "other_label") // want `metric "dt_http_requests_total" redeclared as Counter\[other_label\]`

@@ -1,0 +1,22 @@
+// Package d is the driver fixture: suppression directive mechanics.
+package d
+
+func bad() int { return 0 }
+
+func uses() int {
+	a := bad() // want `call to bad`
+
+	//lint:dtlint-allow testcheck fixture suppression above the line
+	b := bad()
+
+	c := bad() //lint:dtlint-allow testcheck fixture suppression on the line
+
+	// A directive naming an analyzer that did not run suppresses nothing
+	// and is not reported as unused (the analyzer may run in another
+	// invocation).
+
+	//lint:dtlint-allow othercheck directive for an analyzer that did not run
+	d := bad() // want `call to bad`
+
+	return a + b + c + d
+}

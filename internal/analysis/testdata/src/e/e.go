@@ -1,0 +1,15 @@
+// Package e is the driver fixture for directives that are themselves
+// findings: a malformed directive (no reason) and an unused one.
+package e
+
+func bad() int { return 0 }
+
+func uses() int {
+	//lint:dtlint-allow testcheck
+	a := bad()
+
+	//lint:dtlint-allow testcheck this directive matches no finding
+	b := 1
+
+	return a + b
+}
