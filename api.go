@@ -298,7 +298,17 @@ func (t *Tamer) Run(ctx context.Context) error { return t.core.Run(ctx) }
 func (t *Tamer) IngestWebText(ctx context.Context) error { return t.core.IngestWebText(ctx) }
 
 // SaveStores checkpoints both sharded text namespaces into dir.
+//
+// Deprecated: use SaveStoresCtx so cluster checkpoint RPCs honor the
+// caller's cancellation and deadline.
 func (t *Tamer) SaveStores(dir string) error { return t.core.SaveStores(dir) }
+
+// SaveStoresCtx checkpoints both sharded text namespaces into dir. In
+// cluster mode the remote shards checkpoint themselves on their hosting
+// nodes under ctx.
+func (t *Tamer) SaveStoresCtx(ctx context.Context, dir string) error {
+	return t.core.SaveStoresCtx(ctx, dir)
+}
 
 // LoadStores recovers both text namespaces from a SaveStores checkpoint.
 func (t *Tamer) LoadStores(dir string) error { return t.core.LoadStores(dir) }

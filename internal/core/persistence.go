@@ -22,22 +22,32 @@ type Checkpointer interface {
 	Checkpoint(ctx context.Context) error
 }
 
-// SaveStores writes one snapshot file per shard of both namespaces into
-// dir: instance-<i>.snap and entity-<i>.snap. Remote shards are not
-// written into dir; each is asked to checkpoint itself on its hosting
-// node (nodes running without a data directory answer unavailable, which
-// callers tolerate the way they did before node durability existed).
+// SaveStores checkpoints both namespaces with no caller context.
+//
+// Deprecated: use SaveStoresCtx. In cluster mode SaveStores issues
+// checkpoint RPCs to the shard nodes, and without a context those RPCs
+// cannot be cancelled or deadlined by the caller.
 func (t *Tamer) SaveStores(dir string) error {
+	return t.SaveStoresCtx(context.Background(), dir)
+}
+
+// SaveStoresCtx writes one snapshot file per shard of both namespaces
+// into dir: instance-<i>.snap and entity-<i>.snap. Remote shards are not
+// written into dir; each is asked to checkpoint itself on its hosting
+// node under ctx (nodes running without a data directory answer
+// unavailable, which callers tolerate the way they did before node
+// durability existed).
+func (t *Tamer) SaveStoresCtx(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: creating snapshot dir: %w", err)
 	}
-	if err := saveSharded(dir, "instance", t.Instances); err != nil {
+	if err := saveSharded(ctx, dir, "instance", t.Instances); err != nil {
 		return err
 	}
-	return saveSharded(dir, "entity", t.Entities)
+	return saveSharded(ctx, dir, "entity", t.Entities)
 }
 
-func saveSharded(dir, prefix string, s *store.Sharded) error {
+func saveSharded(ctx context.Context, dir, prefix string, s *store.Sharded) error {
 	for i := 0; i < s.NumShards(); i++ {
 		coll := s.Shard(i)
 		if coll == nil {
@@ -45,7 +55,7 @@ func saveSharded(dir, prefix string, s *store.Sharded) error {
 			// snapshot them. Delegate when the backend can, otherwise report
 			// the checkpoint unavailable as before.
 			if cp, ok := s.Backend(i).(Checkpointer); ok {
-				if err := cp.Checkpoint(context.Background()); err != nil {
+				if err := cp.Checkpoint(ctx); err != nil {
 					return fmt.Errorf("core: checkpointing %s shard %d: %w", s.NS(), i, err)
 				}
 				continue

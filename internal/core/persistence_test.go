@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/store"
 )
 
 func TestSaveLoadStores(t *testing.T) {
@@ -68,6 +71,44 @@ func TestLoadStoresMissingDir(t *testing.T) {
 	tm := New(Config{Fragments: 10, FTSources: 1, Seed: 1})
 	if err := tm.LoadStores(filepath.Join(os.TempDir(), "does-not-exist-dtamer")); err == nil {
 		t.Error("loading from a missing directory should fail")
+	}
+}
+
+// checkpointBackend plays a remote shard that persists itself on its
+// hosting node: Shard(i) returns nil for it, so SaveStores must delegate
+// through the Checkpointer interface.
+type checkpointBackend struct {
+	store.LocalShard
+	got context.Context
+}
+
+func (b *checkpointBackend) Checkpoint(ctx context.Context) error {
+	b.got = ctx
+	return ctx.Err()
+}
+
+// TestSaveStoresCtxReachesRemoteShards is the regression test for the
+// checkpoint path silently dropping the caller's context before the
+// remote-shard checkpoint RPCs: /v1/flush?checkpoint=1 carried a request
+// context all the way to SaveStores, which then called Checkpoint under
+// context.Background(), making in-flight checkpoint RPCs uncancellable.
+func TestSaveStoresCtxReachesRemoteShards(t *testing.T) {
+	tm := New(Config{Fragments: 10, FTSources: 1, Seed: 1})
+	be := &checkpointBackend{LocalShard: store.LocalShard{Coll: store.NewCollection("dt.instance", 0)}}
+	sharded, err := store.NewShardedBackends("dt.instance", "source_url", []store.ShardBackend{be}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.Instances = sharded
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = tm.SaveStoresCtx(ctx, t.TempDir())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SaveStoresCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if be.got != ctx {
+		t.Errorf("remote checkpoint ran under %v, want the caller's context", be.got)
 	}
 }
 

@@ -220,7 +220,7 @@ func Open(ctx context.Context, t *core.Tamer, cfg Config) (*Ingester, error) {
 	if cleanRestart {
 		// Still sweep epoch directories left by a crash mid-checkpoint.
 		dropStaleEpochs(cfg.Dir, ing.epoch)
-	} else if err := ing.checkpointState(nextSeq - 1); err != nil {
+	} else if err := ing.checkpointState(ctx, nextSeq-1); err != nil {
 		// In cluster mode SaveStores delegates to the nodes' own data
 		// directories; nodes running without -data-dir answer unavailable,
 		// and the WAL (not truncated on this path) remains the recovery
@@ -613,7 +613,7 @@ func (ing *Ingester) Checkpoint(ctx context.Context) error {
 	if err := ing.Flush(ctx); err != nil {
 		return err
 	}
-	if err := ing.checkpointState(ing.wal.lastSeq()); err != nil {
+	if err := ing.checkpointState(ctx, ing.wal.lastSeq()); err != nil {
 		return err
 	}
 	return ing.wal.rotate()
@@ -622,12 +622,13 @@ func (ing *Ingester) Checkpoint(ctx context.Context) error {
 // checkpointState writes the store snapshots and fused view into a fresh
 // epoch directory, then commits it by renaming the meta file into place —
 // only after the commit does the new fence take effect, so a crash at any
-// earlier point leaves the previous checkpoint authoritative. Must hold
-// ingestMu (or be called before the ingester is shared).
-func (ing *Ingester) checkpointState(lastSeq uint64) error {
+// earlier point leaves the previous checkpoint authoritative. In cluster
+// mode the snapshot step issues checkpoint RPCs to the shard nodes under
+// ctx. Must hold ingestMu (or be called before the ingester is shared).
+func (ing *Ingester) checkpointState(ctx context.Context, lastSeq uint64) error {
 	next := ing.epoch + 1
 	cpDir := epochDir(ing.cfg.Dir, next)
-	if err := ing.tamer.SaveStores(cpDir); err != nil {
+	if err := ing.tamer.SaveStoresCtx(ctx, cpDir); err != nil {
 		return fmt.Errorf("live: checkpoint stores: %w", err)
 	}
 	if err := saveFused(filepath.Join(cpDir, fusedName), ing.tamer.FusedRecords()); err != nil {
@@ -696,7 +697,7 @@ func (ing *Ingester) Close() error {
 	// hosting nodes' data directories. Nodes without -data-dir answer
 	// unavailable; the WAL then stays authoritative across restarts
 	// instead of the checkpoint, exactly as before node durability.
-	if cerr := ing.checkpointState(ing.wal.lastSeq()); err == nil && !errors.Is(cerr, dterr.ErrUnavailable) {
+	if cerr := ing.checkpointState(context.Background(), ing.wal.lastSeq()); err == nil && !errors.Is(cerr, dterr.ErrUnavailable) {
 		err = cerr
 	}
 	if cerr := ing.wal.close(); err == nil {
