@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the gate the CI job enforces: the whole module must
+// lint clean. A finding here means either new code broke a project
+// invariant or an analyzer grew a false positive — both block merging.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full dependency closure; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dtlint exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dtlint -list exit %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"dterrcheck", "ctxcheck", "metriccheck", "lockcheck"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("dtlint -run nosuchcheck exit %d, want 2", code)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/dterr"
 	"repro/internal/store"
 )
 
@@ -70,7 +71,7 @@ func LoadConfig(path string) (*Config, error) {
 func ParseConfig(data []byte) (*Config, error) {
 	var cfg Config
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, fmt.Errorf("cluster: config: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInvalidArgument, err, "cluster: config")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -83,40 +84,40 @@ func ParseConfig(data []byte) (*Config, error) {
 // addresses.
 func (c *Config) Validate() error {
 	if c.Shards < 1 {
-		return fmt.Errorf("cluster: config: shards must be >= 1, got %d", c.Shards)
+		return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: shards must be >= 1, got %d", c.Shards)
 	}
 	if c.VNodes < 0 {
-		return fmt.Errorf("cluster: config: vnodes must be >= 0, got %d", c.VNodes)
+		return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: vnodes must be >= 0, got %d", c.VNodes)
 	}
 	if len(c.Nodes) == 0 {
-		return fmt.Errorf("cluster: config: no nodes")
+		return dterr.New(dterr.CodeInvalidArgument, "cluster: config: no nodes")
 	}
 	owner := make(map[int]string)
 	names := make(map[string]bool)
 	for _, n := range c.Nodes {
 		if n.Name == "" {
-			return fmt.Errorf("cluster: config: node with empty name")
+			return dterr.New(dterr.CodeInvalidArgument, "cluster: config: node with empty name")
 		}
 		if names[n.Name] {
-			return fmt.Errorf("cluster: config: duplicate node name %q", n.Name)
+			return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: duplicate node name %q", n.Name)
 		}
 		names[n.Name] = true
 		if n.Addr == "" {
-			return fmt.Errorf("cluster: config: node %q has no addr", n.Name)
+			return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: node %q has no addr", n.Name)
 		}
 		for _, s := range n.Shards {
 			if s < 0 || s >= c.Shards {
-				return fmt.Errorf("cluster: config: node %q shard %d out of range [0,%d)", n.Name, s, c.Shards)
+				return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: node %q shard %d out of range [0,%d)", n.Name, s, c.Shards)
 			}
 			if prev, dup := owner[s]; dup {
-				return fmt.Errorf("cluster: config: shard %d owned by both %q and %q", s, prev, n.Name)
+				return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: shard %d owned by both %q and %q", s, prev, n.Name)
 			}
 			owner[s] = n.Name
 		}
 	}
 	for s := 0; s < c.Shards; s++ {
 		if _, ok := owner[s]; !ok {
-			return fmt.Errorf("cluster: config: shard %d has no owner", s)
+			return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: shard %d has no owner", s)
 		}
 	}
 	return nil
@@ -267,7 +268,7 @@ func (c *Cluster) Warm(ctx context.Context) (bool, error) {
 			}
 			info, err := rs.Info(ctx)
 			if err != nil {
-				return false, fmt.Errorf("cluster: probing %s shard %d: %w", s.NS(), i, err)
+				return false, dterr.Wrapf(dterr.CodeOf(err), err, "cluster: probing %s shard %d", s.NS(), i)
 			}
 			total++
 			if info.Gen > 0 {
@@ -279,7 +280,7 @@ func (c *Cluster) Warm(ctx context.Context) (bool, error) {
 		return false, nil
 	}
 	if warmShards < total {
-		return false, fmt.Errorf(
+		return false, dterr.Newf(dterr.CodeUnavailable,
 			"cluster: %d of %d shards hold data while the rest are empty; wipe the node data directories (or restore the missing ones) before reconnecting",
 			warmShards, total)
 	}

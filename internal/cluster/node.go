@@ -401,7 +401,7 @@ func (n *Node) EnableDurability(root string, extentSize int64) error {
 		}
 		h.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("cluster: shard %s: %w", key, err)
+			return dterr.Wrapf(dterr.CodeOf(err), err, "cluster: shard %s", key)
 		}
 	}
 	return nil
@@ -427,7 +427,7 @@ func (n *Node) Checkpoint() error {
 		}
 		h.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("cluster: checkpoint %s: %w", key, err)
+			return dterr.Wrapf(dterr.CodeOf(err), err, "cluster: checkpoint %s", key)
 		}
 	}
 	return nil

@@ -106,23 +106,23 @@ func DecodeRequest(data []byte) (*Request, error) {
 	rd := bytes.NewReader(data)
 	id, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: request id: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: request id")
 	}
 	op, err := rd.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("cluster: request op: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: request op")
 	}
 	shard, err := getString(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: request shard: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: request shard")
 	}
 	minGen, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: request mingen: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: request mingen")
 	}
 	body := make([]byte, rd.Len())
 	if _, err := io.ReadFull(rd, body); err != nil {
-		return nil, fmt.Errorf("cluster: request body: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: request body")
 	}
 	return &Request{ID: id, Op: op, Shard: shard, MinGen: minGen, Body: body}, nil
 }
@@ -160,30 +160,30 @@ func DecodeResponse(data []byte) (*Response, error) {
 	rd := bytes.NewReader(data)
 	id, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: response id: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response id")
 	}
 	status, err := rd.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("cluster: response status: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response status")
 	}
 	if status == 1 {
 		code, err := getString(rd)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: response error code: %w", err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response error code")
 		}
 		msg, err := getString(rd)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: response error message: %w", err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response error message")
 		}
 		return &Response{ID: id, Err: dterr.FromCode(dterr.Code(code), msg)}, nil
 	}
 	gen, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: response gen: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response gen")
 	}
 	body := make([]byte, rd.Len())
 	if _, err := io.ReadFull(rd, body); err != nil {
-		return nil, fmt.Errorf("cluster: response body: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: response body")
 	}
 	return &Response{ID: id, Gen: gen, Body: body}, nil
 }
@@ -331,7 +331,7 @@ func EncodeIDDoc(id int64, d *store.Doc) []byte {
 // DecodeIDDoc unpacks EncodeIDDoc; doc is nil when absent (deletes).
 func DecodeIDDoc(data []byte) (int64, *store.Doc, error) {
 	if len(data) < 8 {
-		return 0, nil, fmt.Errorf("cluster: id+doc payload too short (%d bytes)", len(data))
+		return 0, nil, dterr.Newf(dterr.CodeInternal, "cluster: id+doc payload too short (%d bytes)", len(data))
 	}
 	id := int64(binary.LittleEndian.Uint64(data[:8]))
 	if len(data) == 8 {
@@ -359,20 +359,20 @@ func DecodeDocList(data []byte) ([]*store.Doc, error) {
 	rd := bytes.NewReader(data)
 	n, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: doc list count: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: doc list count")
 	}
 	if n > uint64(rd.Len()) {
-		return nil, fmt.Errorf("cluster: doc list count %d exceeds remaining bytes", n)
+		return nil, dterr.Newf(dterr.CodeInternal, "cluster: doc list count %d exceeds remaining bytes", n)
 	}
 	docs := make([]*store.Doc, 0, n)
 	for i := uint64(0); i < n; i++ {
 		raw, err := getBytes(rd)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: doc %d: %w", i, err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: doc %d", i)
 		}
 		d, err := store.DecodeDoc(raw)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: doc %d: %w", i, err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: doc %d", i)
 		}
 		docs = append(docs, d)
 	}
@@ -398,25 +398,25 @@ func DecodeSnapshot(data []byte) ([]int64, []*store.Doc, error) {
 	rd := bytes.NewReader(data)
 	n, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: snapshot count: %w", err)
+		return nil, nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: snapshot count")
 	}
 	if n > uint64(rd.Len()) {
-		return nil, nil, fmt.Errorf("cluster: snapshot count %d exceeds remaining bytes", n)
+		return nil, nil, dterr.Newf(dterr.CodeInternal, "cluster: snapshot count %d exceeds remaining bytes", n)
 	}
 	ids := make([]int64, 0, n)
 	docs := make([]*store.Doc, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var idb [8]byte
 		if _, err := io.ReadFull(rd, idb[:]); err != nil {
-			return nil, nil, fmt.Errorf("cluster: snapshot id %d: %w", i, err)
+			return nil, nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: snapshot id %d", i)
 		}
 		raw, err := getBytes(rd)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cluster: snapshot doc %d: %w", i, err)
+			return nil, nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: snapshot doc %d", i)
 		}
 		d, err := store.DecodeDoc(raw)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cluster: snapshot doc %d: %w", i, err)
+			return nil, nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: snapshot doc %d", i)
 		}
 		ids = append(ids, int64(binary.LittleEndian.Uint64(idb[:])))
 		docs = append(docs, d)
@@ -446,20 +446,20 @@ func DecodeDistinct(data []byte) (map[string]int64, error) {
 	rd := bytes.NewReader(data)
 	n, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: distinct count: %w", err)
+		return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: distinct count")
 	}
 	if n > uint64(rd.Len()) {
-		return nil, fmt.Errorf("cluster: distinct count %d exceeds remaining bytes", n)
+		return nil, dterr.Newf(dterr.CodeInternal, "cluster: distinct count %d exceeds remaining bytes", n)
 	}
 	out := make(map[string]int64, n)
 	for i := uint64(0); i < n; i++ {
 		k, err := getString(rd)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: distinct key %d: %w", i, err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: distinct key %d", i)
 		}
 		v, err := binary.ReadUvarint(rd)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: distinct value %d: %w", i, err)
+			return nil, dterr.Wrapf(dterr.CodeInternal, err, "cluster: distinct value %d", i)
 		}
 		out[k] = int64(v)
 	}
@@ -516,14 +516,14 @@ func EncodeCreateIndex(name, path string, kind store.IndexKind) []byte {
 func DecodeCreateIndex(data []byte) (name, path string, kind store.IndexKind, err error) {
 	rd := bytes.NewReader(data)
 	if name, err = getString(rd); err != nil {
-		return "", "", 0, fmt.Errorf("cluster: index name: %w", err)
+		return "", "", 0, dterr.Wrapf(dterr.CodeInternal, err, "cluster: index name")
 	}
 	if path, err = getString(rd); err != nil {
-		return "", "", 0, fmt.Errorf("cluster: index path: %w", err)
+		return "", "", 0, dterr.Wrapf(dterr.CodeInternal, err, "cluster: index path")
 	}
 	k, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return "", "", 0, fmt.Errorf("cluster: index kind: %w", err)
+		return "", "", 0, dterr.Wrapf(dterr.CodeInternal, err, "cluster: index kind")
 	}
 	return name, path, store.IndexKind(k), nil
 }
@@ -555,27 +555,27 @@ func ApplyIndexManifest(c *store.Collection, data []byte) error {
 	rd := bytes.NewReader(data)
 	n, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return fmt.Errorf("cluster: manifest index count: %w", err)
+		return dterr.Wrapf(dterr.CodeInternal, err, "cluster: manifest index count")
 	}
 	for i := uint64(0); i < n; i++ {
 		raw, err := getBytes(rd)
 		if err != nil {
-			return fmt.Errorf("cluster: manifest index %d: %w", i, err)
+			return dterr.Wrapf(dterr.CodeInternal, err, "cluster: manifest index %d", i)
 		}
 		name, path, kind, err := DecodeCreateIndex(raw)
 		if err != nil {
-			return fmt.Errorf("cluster: manifest index %d: %w", i, err)
+			return dterr.Wrapf(dterr.CodeInternal, err, "cluster: manifest index %d", i)
 		}
 		c.EnsureIndex(name, path, kind)
 	}
 	m, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return fmt.Errorf("cluster: manifest text index count: %w", err)
+		return dterr.Wrapf(dterr.CodeInternal, err, "cluster: manifest text index count")
 	}
 	for i := uint64(0); i < m; i++ {
 		p, err := getString(rd)
 		if err != nil {
-			return fmt.Errorf("cluster: manifest text index %d: %w", i, err)
+			return dterr.Wrapf(dterr.CodeInternal, err, "cluster: manifest text index %d", i)
 		}
 		c.EnsureTextIndex(p)
 	}
@@ -606,15 +606,15 @@ func DecodeShardInfo(data []byte) (ShardInfo, error) {
 	rd := bytes.NewReader(data)
 	gen, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return ShardInfo{}, fmt.Errorf("cluster: info gen: %w", err)
+		return ShardInfo{}, dterr.Wrapf(dterr.CodeInternal, err, "cluster: info gen")
 	}
 	count, err := binary.ReadUvarint(rd)
 	if err != nil {
-		return ShardInfo{}, fmt.Errorf("cluster: info count: %w", err)
+		return ShardInfo{}, dterr.Wrapf(dterr.CodeInternal, err, "cluster: info count")
 	}
 	man, err := getBytes(rd)
 	if err != nil {
-		return ShardInfo{}, fmt.Errorf("cluster: info manifest: %w", err)
+		return ShardInfo{}, dterr.Wrapf(dterr.CodeInternal, err, "cluster: info manifest")
 	}
 	return ShardInfo{Gen: gen, Count: int64(count), Manifest: man}, nil
 }

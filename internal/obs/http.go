@@ -70,9 +70,22 @@ func (m *HTTPMetrics) Middleware(route func(*http.Request) string, next http.Han
 		if status == 0 {
 			status = http.StatusOK
 		}
-		m.requests.With(rt, r.Method, strconv.Itoa(status)).Inc()
+		m.requests.With(rt, boundedMethod(r.Method), strconv.Itoa(status)).Inc()
 		m.latency.With(rt).Observe(elapsed.Seconds())
 	})
+}
+
+// boundedMethod maps a request method onto the fixed set of standard
+// methods so the method label cannot grow a series per arbitrary client
+// string — methods are client-controlled bytes, not a bounded enum.
+func boundedMethod(method string) string {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodConnect,
+		http.MethodOptions, http.MethodTrace:
+		return method
+	}
+	return "OTHER"
 }
 
 // RegisterPprof mounts the net/http/pprof handlers on mux under

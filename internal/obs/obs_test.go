@@ -164,6 +164,33 @@ func TestMiddlewareRecordsRouteStatusLatency(t *testing.T) {
 	}
 }
 
+func TestMiddlewareBoundsMethodLabel(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	h := m.Middleware(func(r *http.Request) string { return "fixed" }, inner)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("EVILMETHOD1", "/a", nil))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/a", nil))
+
+	out := reg.Render()
+	if strings.Contains(out, "EVILMETHOD1") {
+		t.Fatalf("client-controlled method leaked into a label:\n%s", out)
+	}
+	for _, line := range []string{
+		`dt_http_requests_total{route="fixed",method="OTHER",code="200"} 1`,
+		`dt_http_requests_total{route="fixed",method="DELETE",code="200"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
 func TestMetricsHandler(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("dt_h_total", "H.").With().Inc()
