@@ -70,6 +70,24 @@ type Fragment = live.Fragment
 // LiveStats is a point-in-time snapshot of the live ingester.
 type LiveStats = live.Stats
 
+// ClusterResilience tunes the cluster transport's retry/breaker layer
+// (see cluster.ResilienceSpec); pass it through WithClusterResilience.
+type ClusterResilience = cluster.ResilienceSpec
+
+// PartialReads tracks the shards a degraded fan-out read could not
+// reach; obtain one with WithPartialReads.
+type PartialReads = store.PartialReads
+
+// WithPartialReads derives a context under which fan-out reads tolerate
+// unreachable shards: instead of failing, reads return the surviving
+// shards' data and record what went missing on the returned tracker
+// (Missing() > 0 means the results are partial). Without it reads keep
+// their strict all-shards-or-error semantics. Cluster mode only — local
+// shards cannot fail.
+func WithPartialReads(ctx context.Context) (context.Context, *PartialReads) {
+	return store.WithPartialReads(ctx)
+}
+
 // FormatKV renders a record in the paper's Table V/VI style.
 func FormatKV(r *Record, preferred []string) string { return fuse.FormatKV(r, preferred) }
 
@@ -91,6 +109,7 @@ type options struct {
 	skipRun     bool
 	clusterPath string
 	clusterCfg  *cluster.Config
+	resilience  *cluster.ResilienceSpec
 }
 
 // Option configures Open.
@@ -171,6 +190,14 @@ func WithClusterConfig(cfg *cluster.Config) Option {
 	return func(o *options) { o.clusterCfg = cfg }
 }
 
+// WithClusterResilience overrides the cluster config's resilience
+// settings — retry attempts/backoff and circuit-breaker thresholds on
+// the coordinator's node transports. It only takes effect together with
+// WithCluster/WithClusterConfig.
+func WithClusterResilience(r ClusterResilience) Option {
+	return func(o *options) { o.resilience = &r }
+}
+
 // withoutRun skips the batch run inside Open; the deprecated New shim uses
 // it so legacy callers keep the explicit Run step.
 func withoutRun() Option { return func(o *options) { o.skipRun = true } }
@@ -204,6 +231,13 @@ func Open(ctx context.Context, opts ...Option) (*Tamer, error) {
 	}
 	var cl *cluster.Cluster
 	if ccfg != nil {
+		if o.resilience != nil {
+			// Copy before overriding so a caller-owned config (passed via
+			// WithClusterConfig) is not mutated behind their back.
+			override := *ccfg
+			override.Resilience = *o.resilience
+			ccfg = &override
+		}
 		// The cluster's shard count is authoritative: routing must agree
 		// with the node layout, whatever WithShards said.
 		o.cfg.Shards = ccfg.Shards

@@ -11,6 +11,11 @@
 // If-None-Match validators so an unchanged resource costs a 304 with no
 // body instead of a full response.
 //
+// Cluster-mode degraded reads surface through WithDegraded: a read served
+// from a cluster with unreachable shards still succeeds, and the
+// collector reports how many shards were missing. StrictReads() restores
+// fail-fast behavior by sending partial=0 on every GET.
+//
 //	c := client.New("http://localhost:8080")
 //	top, err := c.Top(ctx, client.Page{Limit: 10})
 //	if errors.Is(err, dterr.ErrUnavailable) { ... }
@@ -43,6 +48,7 @@ type Client struct {
 	maxRetryAfter time.Duration
 	etags         *etagCache // nil when disabled
 	apiKey        string
+	strictReads   bool
 }
 
 // Option configures a Client.
@@ -80,6 +86,12 @@ func WithETagCache(entries int) Option {
 // WithAPIKey sends key as X-API-Key on every request — the identity the
 // server's per-client rate limiter buckets by.
 func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
+
+// StrictReads makes every GET carry partial=0: a cluster-mode server then
+// fails a read outright when any shard is unreachable instead of serving
+// a degraded partial result. Without it, degraded responses succeed and
+// are reported through WithDegraded.
+func StrictReads() Option { return func(c *Client) { c.strictReads = true } }
 
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8080").
@@ -256,11 +268,39 @@ type LiveStats struct {
 
 // envelope mirrors the server's uniform response shape.
 type envelope struct {
-	Data  json.RawMessage `json:"data"`
-	Error *struct {
+	Data     json.RawMessage `json:"data"`
+	Degraded *Degraded       `json:"degraded"`
+	Error    *struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
 	} `json:"error"`
+}
+
+// Degraded reports a partial fan-out read: the response succeeded but
+// ShardsMissing shards were unreachable, so list totals and aggregates
+// are under-counts.
+type Degraded struct {
+	ShardsMissing int `json:"shards_missing"`
+}
+
+// degradedKeyType keys the WithDegraded collector in a context.
+type degradedKeyType struct{}
+
+var degradedKey degradedKeyType
+
+// WithDegraded derives a context that collects degradation info for the
+// calls made under it. After a successful read, the returned collector
+// holds the response's degraded field (zero when the read was complete):
+//
+//	ctx, deg := client.WithDegraded(ctx)
+//	stats, err := c.Stats(ctx)
+//	if err == nil && deg.ShardsMissing > 0 { ... partial answer ... }
+//
+// The collector is overwritten per call; use one context per request when
+// calls run concurrently.
+func WithDegraded(ctx context.Context) (context.Context, *Degraded) {
+	d := &Degraded{}
+	return context.WithValue(ctx, degradedKey, d), d
 }
 
 // do issues one request and decodes the envelope into out (which may be
@@ -274,6 +314,14 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		if err != nil {
 			return dterr.Wrap(dterr.CodeInvalidArgument, err)
 		}
+	}
+	if c.strictReads && method == http.MethodGet {
+		strict := url.Values{}
+		for k, v := range query {
+			strict[k] = v
+		}
+		strict.Set("partial", "0")
+		query = strict
 	}
 	u := c.base + path
 	if len(query) > 0 {
@@ -405,6 +453,17 @@ func (c *Client) once(ctx context.Context, method, u string, body []byte, out an
 		}
 		code := dterr.FromHTTPStatus(resp.StatusCode)
 		return resp.StatusCode >= 500, 0, dterr.Newf(code, "%s %s: HTTP %d", method, u, resp.StatusCode)
+	}
+	// Surface degradation to a WithDegraded collector. A 304 replayed a
+	// cached body, which is by construction a complete (non-degraded)
+	// response — the server strips ETags from partial bodies — so the
+	// collector correctly resets to zero there.
+	if d, ok := ctx.Value(degradedKey).(*Degraded); ok && decodeErr == nil {
+		if env.Degraded != nil {
+			*d = *env.Degraded
+		} else {
+			*d = Degraded{}
+		}
 	}
 	if out == nil {
 		return false, 0, nil

@@ -485,3 +485,64 @@ func TestAPIKeyHeaderSent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWithDegradedCollector(t *testing.T) {
+	degraded := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if degraded {
+			w.Header().Set("X-DT-Degraded", "shards_missing=3")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"data":     map[string]any{"items": []any{}, "total": 0, "limit": 10, "offset": 0},
+				"degraded": map[string]any{"shards_missing": 3},
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"data": map[string]any{"items": []any{}, "total": 0, "limit": 10, "offset": 0},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, d := WithDegraded(context.Background())
+	if _, err := c.Top(ctx, Page{}); err != nil {
+		t.Fatalf("degraded read = %v, want success with collector filled", err)
+	}
+	if d.ShardsMissing != 3 {
+		t.Fatalf("collector ShardsMissing = %d, want 3", d.ShardsMissing)
+	}
+
+	// The collector resets on a complete response: staleness from the
+	// degraded call must not leak into the next one.
+	degraded = false
+	if _, err := c.Top(ctx, Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.ShardsMissing != 0 {
+		t.Fatalf("collector ShardsMissing = %d after complete response, want 0", d.ShardsMissing)
+	}
+}
+
+func TestStrictReadsSendsPartialZero(t *testing.T) {
+	sawPartial := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sawPartial <- r.URL.Query().Get("partial"):
+		default:
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"data": map[string]any{"items": []any{}, "total": 0, "limit": 10, "offset": 0},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, StrictReads())
+	if _, err := c.Top(context.Background(), Page{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-sawPartial; got != "0" {
+		t.Fatalf("strict client sent partial=%q, want 0", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Chaos test over real processes: dtnodes on ephemeral ports with a
+// fault-injecting TCP proxy in front of one of them. The proxy kills
+// live connections mid-flight, partitions the node entirely, and heals
+// it — and the /v1 surface must never surface a 5xx, must report
+// degraded partial results during the partition, and must converge back
+// to byte-identical responses once the link heals. Named TestCluster* so
+// CI's cluster smoke (-run TestCluster) picks it up.
+package datatamer
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestClusterChaosTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	bin := buildDTNode(t, dir)
+	ctx := context.Background()
+
+	boot := filepath.Join(dir, "boot.json")
+	writeClusterJSON(t, boot, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: "127.0.0.1:0", Shards: []int{0}},
+			{Name: "node-b", Addr: "127.0.0.1:0", Shards: []int{1}},
+		},
+	})
+	aPort := filepath.Join(dir, "a.port")
+	bPort := filepath.Join(dir, "b.port")
+	startProc(t, bin, "-config", boot, "-name", "node-a", "-port-file", aPort)
+	startProc(t, bin, "-config", boot, "-name", "node-b", "-port-file", bPort)
+	addrA, addrB := waitAddr(t, aPort), waitAddr(t, bPort)
+
+	// Node b is reached only through the chaos proxy, so cutting the
+	// proxy is a network partition from the coordinator's point of view.
+	proxyB, err := faultinject.NewProxy("127.0.0.1:0", addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyB.Close()
+
+	final := filepath.Join(dir, "cluster.json")
+	writeClusterJSON(t, final, configJSON{
+		Shards: 2,
+		Nodes: []nodeJSON{
+			{Name: "node-a", Addr: addrA, Shards: []int{0}},
+			{Name: "node-b", Addr: proxyB.Addr(), Shards: []int{1}},
+		},
+	})
+
+	pipeOpts := []Option{WithFragments(200), WithSources(4), WithSeed(3)}
+	local, err := Open(ctx, append([]Option{WithShards(2)}, pipeOpts...)...)
+	if err != nil {
+		t.Fatalf("local open: %v", err)
+	}
+	clustered, err := Open(ctx, append([]Option{
+		WithCluster(final),
+		WithLive(filepath.Join(dir, "wal")),
+	}, pipeOpts...)...)
+	if err != nil {
+		t.Fatalf("cluster open: %v", err)
+	}
+	defer clustered.Close()
+
+	lh, ch := uncachedHandler(local), uncachedHandler(clustered)
+	paths := []string{
+		"/v1/stats",
+		"/v1/types",
+		"/v1/top?limit=5",
+		"/v1/cheapest?limit=5&offset=2",
+		"/v1/find?q=type%20%3D%20Movie&limit=3",
+	}
+	expect := make(map[string]string, len(paths))
+	for _, path := range paths {
+		lc, lb := httpGet(t, lh, path)
+		cc, cb := httpGet(t, ch, path)
+		if lc != cc || lb != cb {
+			t.Fatalf("%s: pre-fault divergence: %d vs %d\nlocal:   %s\ncluster: %s", path, lc, cc, lb, cb)
+		}
+		expect[path] = cb
+	}
+
+	// Phase 1: kill live proxied connections between reads. The transport's
+	// stale-pool retry plus the resilience layer's read retries must absorb
+	// every kill: zero 5xx across the sweep.
+	for i := 0; i < 8; i++ {
+		proxyB.KillConns()
+		for _, path := range paths {
+			if code, body := httpGet(t, ch, path); code >= 500 {
+				t.Fatalf("%s after conn kill %d = %d: %s", path, i, code, body)
+			}
+		}
+	}
+
+	// Phase 2: full partition of node b. Fan-out reads degrade to partial
+	// results instead of failing; strict clients still get the busy
+	// taxonomy via ?partial=0.
+	proxyB.Partition()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body := httpGet(t, ch, "/v1/stats")
+		if code == http.StatusOK && strings.Contains(body, `"shards_missing"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/stats during partition = %d (want 200 degraded): %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		code, body := httpGet(t, ch, "/v1/stats?partial=0")
+		if code == http.StatusTooManyRequests && strings.Contains(body, `"busy"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/stats?partial=0 during partition = %d (want 429 busy): %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Phase 3: heal. Once the breaker lets a probe through, every path
+	// must return to byte-identical, non-degraded responses.
+	proxyB.Heal()
+	deadline = time.Now().Add(20 * time.Second)
+	for _, path := range paths {
+		for {
+			code, body := httpGet(t, ch, path)
+			if code == http.StatusOK && body == expect[path] {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never converged after heal (last %d)\nwant: %s\ngot:  %s", path, code, expect[path], body)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

@@ -386,18 +386,33 @@ func TestClusterTwoNodeEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Kill a primary: shard 0 is now unreachable and reads that touch it
-	// must surface the busy taxonomy (HTTP 429), not hang or panic.
+	// Kill a primary: shard 0 is now unreachable. Fan-out reads degrade
+	// gracefully — 200 with the missing-shard count in the envelope and
+	// the X-DT-Degraded header — instead of failing the whole request.
 	aCmd.Process.Kill()
 	aCmd.Wait()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		code, body := httpGet(t, ch, "/v1/stats")
+		if code == http.StatusOK && strings.Contains(body, `"shards_missing"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/stats after primary death = %d (want 200 degraded): %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Strict clients opt out of partial results: ?partial=0 restores the
+	// whole-or-nothing contract, surfacing the busy taxonomy (HTTP 429).
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, body := httpGet(t, ch, "/v1/stats?partial=0")
 		if code == http.StatusTooManyRequests && strings.Contains(body, `"busy"`) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("/v1/stats after primary death = %d (want 429 busy): %s", code, body)
+			t.Fatalf("/v1/stats?partial=0 after primary death = %d (want 429 busy): %s", code, body)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

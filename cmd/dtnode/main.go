@@ -16,9 +16,12 @@
 //
 //	dtnode -config cluster.json -name node-a-replica -follow -primary 127.0.0.1:7101
 //
-// -healthz serves GET /healthz (JSON: node name, shard generations) and
-// GET /metrics (Prometheus text format: wire op latency and failures,
-// replication pulls) on a separate HTTP listener; -pprof additionally
+// -healthz serves GET /healthz (JSON readiness: node name, role,
+// per-shard generation / WAL lag / checkpoint age, and on replicas the
+// pull-loop health plus the circuit-breaker state toward the primary —
+// a degraded replica answers 503) and GET /metrics (Prometheus text
+// format: wire op latency and failures, replication pulls, retry and
+// breaker counters) on a separate HTTP listener; -pprof additionally
 // mounts net/http/pprof there.
 //
 // With -data-dir the node is durable: every replicated mutation is
@@ -96,8 +99,20 @@ func main() {
 		if *primary == "" {
 			log.Fatal("-follow requires -primary")
 		}
-		fol = cluster.NewFollower(node, cluster.Dial(*primary, 0), *pullEvery)
+		// The pull transport gets the same resilience wrapper coordinators
+		// use: retries smooth transient primary hiccups, and the breaker
+		// state shows up in /healthz so a partitioned replica is visibly
+		// degraded rather than silently stale.
+		breaker := cluster.NewBreaker("primary", 0, 0)
+		tr := cluster.NewResilientTransport("primary", cluster.Dial(*primary, 0),
+			cluster.DefaultRetryPolicy(), breaker, 0)
+		fol = cluster.NewFollower(node, tr, *pullEvery)
 		fol.Start()
+		node.SetReplicaProbe(func() cluster.ReplicaStatus {
+			st := fol.Status()
+			st.Breaker = breaker.StateName()
+			return st
+		})
 	}
 
 	listenAddr := spec.Addr

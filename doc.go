@@ -46,6 +46,17 @@
 //     to a node-local WAL and checkpoint and recover it on restart;
 //     Open probes shard generations and skips batch ingest against a
 //     warm cluster. Enabled with WithCluster or WithClusterConfig.
+//     Remote-shard calls run behind a resilience layer: idempotent
+//     reads retry transient failures with budget-aware exponential
+//     backoff, per-node circuit breakers fail fast while a node is
+//     down (tunable via the cluster config's resilience block or
+//     WithClusterResilience), and fan-out reads degrade to partial
+//     results when shards stay unreachable — HTTP 200 plus a
+//     degraded envelope marker and X-DT-Degraded header, with
+//     ?partial=0 restoring whole-or-nothing semantics. The
+//     internal/faultinject package injects deterministic, seeded
+//     faults (latency, typed errors, drops, duplicates, partitions)
+//     at the transport for chaos testing.
 //
 // # Constructing a pipeline
 //

@@ -56,6 +56,10 @@ type Config struct {
 	// Nodes is the member list. Every shard index in [0,Shards) must be
 	// owned by exactly one node.
 	Nodes []NodeSpec `json:"nodes"`
+	// Resilience tunes the retry/breaker layer wrapped around every node
+	// transport. The zero value selects the defaults; Disable restores
+	// the raw single-attempt transport.
+	Resilience ResilienceSpec `json:"resilience,omitempty"`
 }
 
 // LoadConfig reads and validates a cluster.json file.
@@ -119,6 +123,11 @@ func (c *Config) Validate() error {
 		if _, ok := owner[s]; !ok {
 			return dterr.Newf(dterr.CodeInvalidArgument, "cluster: config: shard %d has no owner", s)
 		}
+	}
+	r := c.Resilience
+	if r.RetryAttempts < 0 || r.RetryBackoffMS < 0 || r.RetryMaxBackoffMS < 0 ||
+		r.BreakerFailures < 0 || r.BreakerCooldownMS < 0 {
+		return dterr.New(dterr.CodeInvalidArgument, "cluster: config: resilience values must be >= 0")
 	}
 	return nil
 }
@@ -211,6 +220,21 @@ func Connect(cfg *Config, timeout time.Duration) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{Config: cfg}
+	// Every transport address gets a stable name for breaker metrics:
+	// the owning node's configured name, with a "-follower" suffix for
+	// replica addresses.
+	nameOf := make(map[string]string)
+	for i := range cfg.Nodes {
+		n := &cfg.Nodes[i]
+		if _, ok := nameOf[n.Addr]; !ok {
+			nameOf[n.Addr] = n.Name
+		}
+		if n.Follower != "" {
+			if _, ok := nameOf[n.Follower]; !ok {
+				nameOf[n.Follower] = n.Name + "-follower"
+			}
+		}
+	}
 	byAddr := make(map[string]Transport)
 	transport := func(addr string) Transport {
 		if addr == "" {
@@ -219,7 +243,11 @@ func Connect(cfg *Config, timeout time.Duration) (*Cluster, error) {
 		if t, ok := byAddr[addr]; ok {
 			return t
 		}
-		t := Dial(addr, timeout)
+		var t Transport = Dial(addr, timeout)
+		if !cfg.Resilience.Disable {
+			spec := cfg.Resilience
+			t = NewResilientTransport(nameOf[addr], t, spec.Policy(), spec.Breaker(nameOf[addr]), 0)
+		}
 		byAddr[addr] = t
 		cl.transports = append(cl.transports, t)
 		return t

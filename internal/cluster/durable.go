@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/store"
 )
@@ -42,6 +43,12 @@ type shardStore struct {
 	dir  string
 	walF *os.File
 	wal  *store.EventLog
+
+	// Checkpoint fence, for readiness reporting: the generation the last
+	// committed checkpoint captured and when it committed. WAL lag is the
+	// shard generation minus cpGen — the mutations a crash would replay.
+	cpGen uint64
+	cpAt  time.Time
 }
 
 // shardDirName maps a shard key ("dt.entity/2") to a directory name.
@@ -100,6 +107,10 @@ func (s *shardStore) recover(fallback *store.Collection, extentSize int64) (*sto
 		return nil, 0, err
 	}
 	if hasCP {
+		s.cpGen = gen
+		if st, err := os.Stat(filepath.Join(s.dir, shardManifestName)); err == nil {
+			s.cpAt = st.ModTime()
+		}
 		f, err := os.Open(filepath.Join(s.dir, shardSnapName))
 		if err != nil {
 			return nil, 0, fmt.Errorf("cluster: shard snapshot: %w", err)
@@ -157,7 +168,11 @@ func (s *shardStore) checkpoint(c *store.Collection, gen uint64) error {
 	}); err != nil {
 		return fmt.Errorf("cluster: shard manifest: %w", err)
 	}
-	return s.resetWAL(gen + 1)
+	if err := s.resetWAL(gen + 1); err != nil {
+		return err
+	}
+	s.cpGen, s.cpAt = gen, time.Now()
+	return nil
 }
 
 // resetWAL truncates the WAL and starts a fresh event log at nextSeq.

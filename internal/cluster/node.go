@@ -53,6 +53,22 @@ func (h *hostedShard) view() (*store.Collection, uint64) {
 	return h.coll, h.gen
 }
 
+// health captures one shard's readiness view under its lock. now is
+// passed in so a batch of shards reports against one clock reading.
+func (h *hostedShard) health(now time.Time) ShardHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := ShardHealth{Gen: h.gen}
+	if h.dur != nil {
+		sh.Durable = true
+		sh.WALLag = h.gen - h.dur.cpGen
+		if !h.dur.cpAt.IsZero() {
+			sh.CheckpointAgeSec = now.Sub(h.dur.cpAt).Seconds()
+		}
+	}
+	return sh
+}
+
 // logLocked retains one document mutation event. Must hold h.mu, after
 // the mutation was applied and h.gen incremented.
 func (h *hostedShard) logLocked(kind byte, id int64, d *store.Doc) error {
@@ -82,8 +98,9 @@ type Node struct {
 	name     string
 	readOnly bool // follower nodes reject writes
 
-	mu     sync.RWMutex
-	shards map[string]*hostedShard
+	mu           sync.RWMutex
+	shards       map[string]*hostedShard
+	replicaProbe func() ReplicaStatus // nil on primaries
 }
 
 // NewNode creates an empty node.
@@ -497,24 +514,93 @@ func (n *Node) serveConn(c net.Conn) {
 	}
 }
 
-// HealthHandler serves GET /healthz-style liveness: node name, hosted
-// shard keys, and each shard's generation.
+// ShardHealth is one hosted shard's readiness view: the applied
+// generation, whether it is disk-backed, and — on durable shards — how
+// far the WAL has run ahead of the last committed checkpoint.
+type ShardHealth struct {
+	Gen              uint64  `json:"gen"`
+	Durable          bool    `json:"durable,omitempty"`
+	WALLag           uint64  `json:"wal_lag,omitempty"`
+	CheckpointAgeSec float64 `json:"checkpoint_age_sec,omitempty"`
+}
+
+// ReplicaStatus is a follower's view of its pull loop: how stale the
+// last successful pull is, the last pull error if the loop is failing,
+// and the state of the circuit breaker guarding the primary transport.
+type ReplicaStatus struct {
+	Healthy        bool    `json:"healthy"`
+	LastPullAgeSec float64 `json:"last_pull_age_sec,omitempty"`
+	LastError      string  `json:"last_error,omitempty"`
+	Breaker        string  `json:"breaker,omitempty"`
+}
+
+// Readiness is the full /healthz document: liveness (the process
+// answered) plus readiness (a follower is keeping up with its primary).
+// Status is "ok" or "degraded" and mirrors Ready for humans.
+type Readiness struct {
+	Status  string                 `json:"status"`
+	Node    string                 `json:"node"`
+	Role    string                 `json:"role"`
+	Ready   bool                   `json:"ready"`
+	Shards  map[string]ShardHealth `json:"shards"`
+	Replica *ReplicaStatus         `json:"replica,omitempty"`
+}
+
+// SetReplicaProbe installs the callback Readiness uses to report
+// replication health — wired by dtnode when it runs as a follower. The
+// probe is invoked outside any node lock.
+func (n *Node) SetReplicaProbe(probe func() ReplicaStatus) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.replicaProbe = probe
+}
+
+// Readiness snapshots the node's health document: per-shard generation,
+// WAL lag, and checkpoint age, plus the replica pull status on
+// followers. A node with no replica probe is always ready; a follower is
+// ready only while its pull loop reports healthy.
+func (n *Node) Readiness() Readiness {
+	now := time.Now()
+	n.mu.RLock()
+	rd := Readiness{
+		Node:   n.name,
+		Role:   "primary",
+		Shards: make(map[string]ShardHealth, len(n.shards)),
+	}
+	if n.readOnly {
+		rd.Role = "follower"
+	}
+	for key, h := range n.shards {
+		rd.Shards[key] = h.health(now)
+	}
+	probe := n.replicaProbe
+	n.mu.RUnlock()
+	rd.Ready = true
+	if probe != nil {
+		st := probe()
+		rd.Replica = &st
+		rd.Ready = st.Healthy
+	}
+	rd.Status = "ok"
+	if !rd.Ready {
+		rd.Status = "degraded"
+	}
+	return rd
+}
+
+// HealthHandler serves GET /healthz-style liveness and readiness: node
+// name, role, per-shard health (generation, WAL lag, checkpoint age),
+// and replica pull status on followers. A degraded follower answers 503
+// so load balancers and orchestration probes see it without parsing the
+// body.
 func (n *Node) HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		gens := make(map[string]uint64)
-		n.mu.RLock()
-		for key, h := range n.shards {
-			_, gen := h.view()
-			gens[key] = gen
-		}
-		name := n.name
-		n.mu.RUnlock()
+		rd := n.Readiness()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"status": "ok",
-			"node":   name,
-			"shards": gens,
-		})
+		if !rd.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(rd)
 	})
 }
 
@@ -528,6 +614,10 @@ type Follower struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	mu      sync.Mutex
+	lastOK  time.Time // last fully successful PullOnce
+	lastErr error     // error from the most recent PullOnce, nil on success
 }
 
 // NewFollower wires node to pull from primary every interval (0 selects
@@ -584,7 +674,33 @@ func (f *Follower) PullOnce() error {
 			first = err
 		}
 	}
+	now := time.Now()
+	f.mu.Lock()
+	f.lastErr = first
+	if first == nil {
+		f.lastOK = now
+	}
+	f.mu.Unlock()
 	return first
+}
+
+// Status reports the pull loop's health for readiness probes: healthy
+// while the most recent pull succeeded. The Breaker field is left empty;
+// the caller that wired a breaker around the primary transport fills it
+// in (the follower itself does not know how its transport is wrapped).
+func (f *Follower) Status() ReplicaStatus {
+	now := time.Now()
+	f.mu.Lock()
+	lastOK, lastErr := f.lastOK, f.lastErr
+	f.mu.Unlock()
+	st := ReplicaStatus{Healthy: lastErr == nil && !lastOK.IsZero()}
+	if !lastOK.IsZero() {
+		st.LastPullAgeSec = now.Sub(lastOK).Seconds()
+	}
+	if lastErr != nil {
+		st.LastError = lastErr.Error()
+	}
+	return st
 }
 
 func (f *Follower) pullShard(key string) error {

@@ -70,6 +70,23 @@ const DefaultCallTimeout = 10 * time.Second
 // extra connections are opened and discarded.
 const maxIdleConns = 4
 
+// maxConns bounds in-flight connections per transport. A burst beyond it
+// queues on the semaphore instead of opening a socket per call, so one
+// hot coordinator cannot exhaust a node's accept backlog or its own file
+// descriptors.
+const maxConns = 16
+
+// idleConnTimeout evicts pooled connections that have sat unused: a
+// node-side idle kill or silent middlebox drop would otherwise surface as
+// a spurious first-call failure long after the burst that pooled them.
+const idleConnTimeout = 60 * time.Second
+
+// frameHeaderLen is the store frame length prefix. A failed exchange that
+// read fewer bytes than one header never saw any part of a response, so
+// retrying it on a fresh connection cannot observe a half-delivered
+// frame.
+const frameHeaderLen = 4
+
 // tcpConn is one pooled connection with its buffered endpoints. nread
 // counts response bytes off the socket, so a failed exchange can tell "the
 // peer never answered" (safe to retry on a fresh connection) from "the
@@ -79,6 +96,9 @@ type tcpConn struct {
 	nread *countingReader
 	r     *bufio.Reader
 	w     *bufio.Writer
+	// lastUsed is when the conn went back to the idle pool, for
+	// idleConnTimeout eviction.
+	lastUsed time.Time
 }
 
 // countingReader counts bytes delivered from the underlying reader.
@@ -103,6 +123,10 @@ type TCPTransport struct {
 
 	nextID atomic.Uint64
 
+	// sem bounds in-flight calls (and thus open sockets) at maxConns;
+	// a call holds one slot from acquire to release/close.
+	sem chan struct{}
+
 	mu     sync.Mutex
 	idle   []*tcpConn
 	closed bool
@@ -115,7 +139,7 @@ func Dial(addr string, timeout time.Duration) *TCPTransport {
 	if timeout <= 0 {
 		timeout = DefaultCallTimeout
 	}
-	return &TCPTransport{addr: addr, timeout: timeout}
+	return &TCPTransport{addr: addr, timeout: timeout, sem: make(chan struct{}, maxConns)}
 }
 
 // Addr returns the node address this transport dials.
@@ -136,6 +160,15 @@ func (t *TCPTransport) call(ctx context.Context, req *Request) (*Response, error
 	if err := ctx.Err(); err != nil {
 		return nil, dterr.FromContext(err)
 	}
+	// Bound in-flight connections: beyond maxConns concurrent calls the
+	// burst queues here instead of growing the socket count without
+	// limit.
+	select {
+	case t.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, dterr.FromContext(ctx.Err())
+	}
+	defer func() { <-t.sem }()
 	req.ID = t.nextID.Add(1)
 	conn, pooled, err := t.acquire(ctx)
 	if err != nil {
@@ -158,13 +191,16 @@ func (t *TCPTransport) call(ctx context.Context, req *Request) (*Response, error
 		// Stale-pool retry: an idle pooled connection to a node that
 		// restarted fails on first use (reset/EOF), which would surface a
 		// spurious busy burst of up to maxIdleConns calls. When the failed
-		// exchange used a pooled conn and no response bytes arrived, the
-		// request is retried exactly once on a freshly dialed connection.
+		// exchange used a pooled conn and no complete frame header arrived
+		// — zero bytes, or a connection killed mid-header — the request is
+		// retried exactly once on a freshly dialed connection. Fewer than
+		// frameHeaderLen bytes means no part of an actual response payload
+		// was observed, so the retry cannot splice two half-responses.
 		// Like HTTP keep-alive retries this can double-send a request the
 		// dead peer already processed but never answered; the window is a
-		// conn that died after reading the request and before writing any
-		// response byte.
-		if pooled && conn.nread.n == readBefore {
+		// conn that died after reading the request and before writing a
+		// complete header.
+		if pooled && conn.nread.n-readBefore < frameHeaderLen {
 			fresh, derr := t.dial(ctx)
 			if derr == nil {
 				resp, err = t.exchange(fresh, req, deadline)
@@ -209,20 +245,34 @@ func (t *TCPTransport) exchange(conn *tcpConn, req *Request, deadline time.Time)
 }
 
 // acquire returns an idle pooled connection (pooled=true) or dials a
-// fresh one.
+// fresh one. Pooled connections older than idleConnTimeout are discarded
+// rather than reused.
 func (t *TCPTransport) acquire(ctx context.Context) (conn *tcpConn, pooled bool, err error) {
+	var stale []*tcpConn
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, false, dterr.New(dterr.CodeClosed, "cluster: transport closed")
 	}
-	if n := len(t.idle); n > 0 {
-		conn := t.idle[n-1]
+	cutoff := time.Now().Add(-idleConnTimeout)
+	for conn == nil && len(t.idle) > 0 {
+		n := len(t.idle)
+		c := t.idle[n-1]
 		t.idle = t.idle[:n-1]
-		t.mu.Unlock()
-		return conn, true, nil
+		if c.lastUsed.Before(cutoff) {
+			stale = append(stale, c)
+			continue
+		}
+		conn = c
 	}
 	t.mu.Unlock()
+	// Sockets close outside the pool lock.
+	for _, c := range stale {
+		c.c.Close()
+	}
+	if conn != nil {
+		return conn, true, nil
+	}
 	conn, err = t.dial(ctx)
 	return conn, false, err
 }
@@ -234,21 +284,43 @@ func (t *TCPTransport) dial(ctx context.Context) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A dial can win its race against cancellation: DialContext may
+	// return a live conn for a context that expired while the handshake
+	// completed. Close it here or it leaks — the caller only sees the
+	// context error.
+	if ctx.Err() != nil {
+		c.Close()
+		return nil, dterr.FromContext(ctx.Err())
+	}
 	cr := &countingReader{r: c}
 	return &tcpConn{c: c, nread: cr, r: bufio.NewReader(cr), w: bufio.NewWriter(c)}, nil
 }
 
 // release returns a healthy connection to the pool, or closes it when the
-// pool is full or the transport closed meanwhile.
+// pool is full or the transport closed meanwhile. Pool admission also
+// evicts any pooled conn that has outlived idleConnTimeout (the pool is
+// LIFO, so the oldest sit at the front).
 func (t *TCPTransport) release(conn *tcpConn) {
+	conn.lastUsed = time.Now()
+	var evicted []*tcpConn
 	t.mu.Lock()
+	cutoff := time.Now().Add(-idleConnTimeout)
+	for len(t.idle) > 0 && t.idle[0].lastUsed.Before(cutoff) {
+		evicted = append(evicted, t.idle[0])
+		t.idle = t.idle[1:]
+	}
+	pooled := false
 	if !t.closed && len(t.idle) < maxIdleConns {
 		t.idle = append(t.idle, conn)
-		t.mu.Unlock()
-		return
+		pooled = true
 	}
 	t.mu.Unlock()
-	conn.c.Close()
+	for _, c := range evicted {
+		c.c.Close()
+	}
+	if !pooled {
+		conn.c.Close()
+	}
 }
 
 // Close implements Transport, closing every pooled connection. In-flight

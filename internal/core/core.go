@@ -543,7 +543,15 @@ func (t *Tamer) TopDiscussed(ctx context.Context, k int) ([]fuse.Discussed, erro
 		return nil, dterr.FromContext(err)
 	}
 	gen := t.entityGen.Load()
-	rows, err := t.top.get(gen, func() ([]fuse.Discussed, error) { return t.Query.TopDiscussed(ctx, 0) })
+	rows, err := t.top.get(gen, func() ([]fuse.Discussed, bool, error) {
+		// A ranking computed while partial reads absorbed a missing
+		// shard is a degraded answer: serve it, but do not memoize it
+		// under this generation.
+		pr := store.PartialFromContext(ctx)
+		before := pr.Missing()
+		rows, err := t.Query.TopDiscussed(ctx, 0)
+		return rows, pr.Missing() == before, err
+	})
 	if err != nil {
 		return nil, err
 	}

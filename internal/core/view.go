@@ -80,14 +80,20 @@ type topCache struct {
 
 // get returns the cached full ranking for gen, or computes and caches it.
 // A compute error is returned without caching, so a transient remote-shard
-// failure never poisons the ranking for later queries.
-func (tc *topCache) get(gen uint64, compute func() ([]fuse.Discussed, error)) ([]fuse.Discussed, error) {
+// failure never poisons the ranking for later queries. compute also
+// reports whether its result is cacheable: a degraded ranking (partial
+// reads absorbed a dead shard) is served but never memoized, else the
+// post-heal query at the same generation would keep replaying the hole.
+func (tc *topCache) get(gen uint64, compute func() (rows []fuse.Discussed, cacheable bool, err error)) ([]fuse.Discussed, error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if !tc.ok || tc.gen != gen {
-		rows, err := compute()
+		rows, cacheable, err := compute()
 		if err != nil {
 			return nil, err
+		}
+		if !cacheable {
+			return rows, nil
 		}
 		tc.rows = rows
 		tc.gen = gen

@@ -1,0 +1,253 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// cluster transport. An Injector wraps cluster.Transport values per node
+// and perturbs calls according to programmable rules: added latency,
+// typed dterr failures, dropped or duplicated responses, and full
+// per-node partitions. All randomness comes from a single seeded source
+// guarded by the injector's mutex, and rules can trigger on exact
+// per-node call-index windows, so a test with a fixed seed replays the
+// identical fault schedule every run — no wall-clock randomness.
+//
+// The package also provides a TCP Proxy for end-to-end tests against
+// real dtnode processes: a byte-forwarding relay whose link can be cut
+// (killing live connections and refusing new ones) and healed, which is
+// how CI simulates a network partition without touching the node.
+package faultinject
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/dterr"
+	"repro/internal/cluster"
+)
+
+// Fault is what happens to a matched call.
+type Fault struct {
+	// Latency is added before the call is forwarded (skipped entirely
+	// when the context dies first).
+	Latency time.Duration
+	// Code, when non-empty, fails the call with this dterr code instead
+	// of forwarding it.
+	Code dterr.Code
+	// Drop forwards the call but discards the response, surfacing a
+	// connection-style CodeBusy — the "node did the work but the reply
+	// was lost" shape that tests retry idempotency.
+	Drop bool
+	// Duplicate forwards the call twice (the retransmit shape); the
+	// second response wins when it succeeds.
+	Duplicate bool
+}
+
+// Rule matches calls and applies a Fault. Zero fields are wildcards.
+type Rule struct {
+	// Node restricts the rule to one wrapped node name ("" = any).
+	Node string
+	// Op restricts the rule to one wire op (0 = any).
+	Op byte
+	// From/To bound the per-node call index (1-based, inclusive); To 0
+	// means unbounded.
+	From, To uint64
+	// Every fires the rule on every Nth matching call (0 or 1 = every
+	// matching call).
+	Every uint64
+	// Prob fires the rule with this probability (0 = always fire when
+	// matched; draws come from the injector's seeded source).
+	Prob float64
+	// Fault is applied when the rule fires.
+	Fault Fault
+}
+
+// matches reports whether the rule selects this call, and burns a
+// probability draw when needed. Caller holds the injector lock.
+func (r *Rule) matches(node string, op byte, index uint64, rng *rand.Rand) bool {
+	if r.Node != "" && r.Node != node {
+		return false
+	}
+	if r.Op != 0 && r.Op != op {
+		return false
+	}
+	if index < r.From {
+		return false
+	}
+	if r.To != 0 && index > r.To {
+		return false
+	}
+	if r.Every > 1 && index%r.Every != 0 {
+		return false
+	}
+	if r.Prob > 0 && rng.Float64() >= r.Prob {
+		return false
+	}
+	return true
+}
+
+// Injector owns the fault schedule across every wrapped transport. One
+// injector typically covers a whole test cluster so partitions and
+// probability draws share the seeded source.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	rules       []Rule
+	partitioned map[string]bool
+	counts      map[string]uint64 // per-node call index
+	injected    map[string]uint64 // action counters, for assertions
+}
+
+// New builds an injector with a fixed seed. The same seed and call
+// sequence produce the same fault schedule.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[string]bool),
+		counts:      make(map[string]uint64),
+		injected:    make(map[string]uint64),
+	}
+}
+
+// AddRule appends a rule; the first matching rule wins per call.
+func (in *Injector) AddRule(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, r)
+}
+
+// SetRules replaces the rule set atomically.
+func (in *Injector) SetRules(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append([]Rule(nil), rules...)
+}
+
+// Partition cuts the named nodes: every call fails immediately with
+// CodeBusy, as a dead TCP peer would.
+func (in *Injector) Partition(nodes ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, n := range nodes {
+		in.partitioned[n] = true
+	}
+}
+
+// Heal reconnects the named nodes.
+func (in *Injector) Heal(nodes ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, n := range nodes {
+		delete(in.partitioned, n)
+	}
+}
+
+// HealAll clears every partition and every rule: from the next call on,
+// the cluster behaves fault-free.
+func (in *Injector) HealAll() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partitioned = make(map[string]bool)
+	in.rules = nil
+}
+
+// Injected returns a copy of the action counters (keys: "partition",
+// "latency", "error", "drop", "duplicate"), so tests can assert the
+// schedule actually fired.
+func (in *Injector) Injected() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.injected))
+	for k, v := range in.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// Wrap returns a Transport that applies the injector's schedule to inner
+// for the named node.
+func (in *Injector) Wrap(node string, inner cluster.Transport) cluster.Transport {
+	return &faultTransport{in: in, node: node, inner: inner}
+}
+
+// decision is the precomputed outcome for one call, resolved under the
+// injector lock so rng draws are ordered deterministically.
+type decision struct {
+	partitioned bool
+	fault       *Fault
+}
+
+// decide advances the per-node call index and resolves the schedule.
+func (in *Injector) decide(node string, op byte) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[node]++
+	index := in.counts[node]
+	if in.partitioned[node] {
+		in.injected["partition"]++
+		return decision{partitioned: true}
+	}
+	for i := range in.rules {
+		if in.rules[i].matches(node, op, index, in.rng) {
+			f := in.rules[i].Fault
+			if f.Latency > 0 {
+				in.injected["latency"]++
+			}
+			if f.Code != "" {
+				in.injected["error"]++
+			}
+			if f.Drop {
+				in.injected["drop"]++
+			}
+			if f.Duplicate {
+				in.injected["duplicate"]++
+			}
+			return decision{fault: &f}
+		}
+	}
+	return decision{}
+}
+
+// faultTransport applies one node's schedule around an inner transport.
+type faultTransport struct {
+	in    *Injector
+	node  string
+	inner cluster.Transport
+}
+
+// Call implements cluster.Transport.
+func (t *faultTransport) Call(ctx context.Context, req *cluster.Request) (*cluster.Response, error) {
+	d := t.in.decide(t.node, req.Op)
+	if d.partitioned {
+		return nil, dterr.Newf(dterr.CodeBusy, "faultinject: node %s partitioned", t.node)
+	}
+	f := d.fault
+	if f == nil {
+		return t.inner.Call(ctx, req)
+	}
+	if f.Latency > 0 {
+		timer := time.NewTimer(f.Latency)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, dterr.FromContext(ctx.Err())
+		case <-timer.C:
+		}
+	}
+	if f.Code != "" {
+		return nil, dterr.Newf(f.Code, "faultinject: injected %s on node %s", string(f.Code), t.node)
+	}
+	resp, err := t.inner.Call(ctx, req)
+	if f.Duplicate {
+		if resp2, err2 := t.inner.Call(ctx, req); err2 == nil {
+			resp, err = resp2, nil
+		}
+	}
+	if f.Drop {
+		if err == nil {
+			return nil, dterr.Newf(dterr.CodeBusy, "faultinject: response dropped on node %s", t.node)
+		}
+		return nil, err
+	}
+	return resp, err
+}
+
+// Close implements cluster.Transport.
+func (t *faultTransport) Close() error { return t.inner.Close() }

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"repro/dterr"
+)
+
+// Proxy is a TCP relay with a breakable link, sitting between a
+// coordinator and a real dtnode process. While partitioned it closes
+// every live connection and refuses new ones — the observable shape of a
+// network partition — and Heal restores pass-through forwarding. Byte
+// streams are forwarded verbatim, so the wire protocol (and its CRC
+// framing) is untouched.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	partitioned bool
+	closed      bool
+	conns       map[net.Conn]struct{}
+	wg          sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards every
+// connection to target.
+func NewProxy(listenAddr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, dterr.Wrapf(dterr.CodeUnavailable, err, "faultinject: proxy listen %s", listenAddr)
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, to be placed in cluster.json
+// instead of the node's real address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition cuts the link: live connections are killed and new ones are
+// accepted then immediately closed (a connect succeeds, the first read
+// fails — the shape of a peer dying mid-conversation).
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal restores forwarding for new connections.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// KillConns closes every live proxied connection without partitioning:
+// the next call on a pooled coordinator connection fails mid-frame.
+func (p *Proxy) KillConns() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close shuts the proxy down, closing the listener and every connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		p.conns[c] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.forward(c)
+	}
+}
+
+// track registers a connection for partition/close kills; returns false
+// when the proxy is already cut.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.partitioned {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// forward relays bytes both ways until either side dies.
+func (p *Proxy) forward(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	if !p.track(server) {
+		return
+	}
+	defer p.untrack(server)
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(server, client)
+		server.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, server)
+		client.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

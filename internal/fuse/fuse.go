@@ -38,6 +38,9 @@ func (e *Engine) TopDiscussed(ctx context.Context, k int) ([]Discussed, error) {
 	parts := make([]map[string]*Discussed, e.Entities.NumShards())
 	err := e.Entities.ForEachShard(func(shard int, b store.ShardBackend) error {
 		_, docs, err := b.Snapshot(ctx)
+		if store.AbsorbShardError(ctx, e.Entities.NS(), shard, err) {
+			return nil
+		}
 		if err != nil {
 			return err
 		}

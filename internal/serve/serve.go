@@ -15,6 +15,13 @@
 // run under the request context, so client disconnects cancel server-side
 // work.
 //
+// Degraded reads: in cluster mode a fan-out read whose shards are partly
+// unreachable returns the surviving shards' data with a
+// "degraded": {"shards_missing": N} envelope field and an X-DT-Degraded
+// header instead of failing. ?partial=0 restores strict semantics (any
+// unreachable shard fails the request). Degraded responses carry no ETag
+// and are never cached.
+//
 //	GET  /v1/stats                    Tables I-II store statistics
 //	GET  /v1/types?limit=&offset=     Table III type distribution
 //	GET  /v1/top?limit=&offset=       Table IV discussion ranking
@@ -220,10 +227,18 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 
 // ---- envelope and helpers ---------------------------------------------
 
-// envelope is the uniform /v1 response shape.
+// envelope is the uniform /v1 response shape. Degraded appears only on
+// partial fan-out reads: some shards were unreachable and the data field
+// is an explicit under-count, not the full answer.
 type envelope struct {
-	Data  any      `json:"data,omitempty"`
-	Error *errBody `json:"error,omitempty"`
+	Data     any           `json:"data,omitempty"`
+	Degraded *degradedInfo `json:"degraded,omitempty"`
+	Error    *errBody      `json:"error,omitempty"`
+}
+
+// degradedInfo quantifies a partial read.
+type degradedInfo struct {
+	ShardsMissing int `json:"shards_missing"`
 }
 
 type errBody struct {
@@ -248,6 +263,46 @@ func writeData(w http.ResponseWriter, status int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	code := dterr.CodeOf(err)
 	writeJSON(w, dterr.HTTPStatus(code), envelope{Error: &errBody{Code: string(code), Message: err.Error()}})
+}
+
+// degradedHeader is set (value "shards_missing=N") on any response
+// assembled from a partial fan-out, so callers and middleware can detect
+// degradation without parsing the body.
+const degradedHeader = "X-DT-Degraded"
+
+// readCtx prepares a /v1 read handler's context. By default fan-out reads
+// tolerate unreachable shards (degraded partial results); ?partial=0
+// opts back into strict all-shards-or-error semantics, in which case the
+// returned tracker is nil.
+func readCtx(r *http.Request) (context.Context, *store.PartialReads, error) {
+	ctx := r.Context()
+	if raw := r.URL.Query().Get("partial"); raw != "" {
+		ok, err := strconv.ParseBool(raw)
+		if err != nil {
+			return ctx, nil, dterr.Newf(dterr.CodeInvalidArgument, "parameter \"partial\": %q is not a boolean", raw)
+		}
+		if !ok {
+			return ctx, nil, nil
+		}
+	}
+	ctx, pr := store.WithPartialReads(ctx)
+	return ctx, pr, nil
+}
+
+// writeRead writes a /v1 read response, surfacing degradation: when the
+// tracker recorded missing shards the envelope carries the degraded
+// field, the response carries the X-DT-Degraded header, and cache
+// validators are stripped (no ETag, no-store) so a partial body is never
+// cached or replayed as the authoritative answer.
+func writeRead(w http.ResponseWriter, pr *store.PartialReads, status int, v any) {
+	if n := pr.Missing(); n > 0 {
+		w.Header().Set(degradedHeader, "shards_missing="+strconv.Itoa(n))
+		w.Header().Del("ETag")
+		w.Header().Set("Cache-Control", "no-store")
+		writeJSON(w, status, envelope{Data: v, Degraded: &degradedInfo{ShardsMissing: n}})
+		return
+	}
+	writeJSON(w, status, envelope{Data: v})
 }
 
 // writeError is the legacy (pre-envelope) error shape.
@@ -360,17 +415,22 @@ func docMap(d *store.Doc) map[string]string {
 // ---- /v1 read handlers -------------------------------------------------
 
 func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
-	inst, err := s.q.InstanceStatsCtx(r.Context())
+	ctx, pr, err := readCtx(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	ent, err := s.q.EntityStatsCtx(r.Context())
+	inst, err := s.q.InstanceStatsCtx(ctx)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeData(w, http.StatusOK, map[string]store.Stats{
+	ent, err := s.q.EntityStatsCtx(ctx)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeRead(w, pr, http.StatusOK, map[string]store.Stats{
 		"instance": inst,
 		"entity":   ent,
 	})
@@ -382,12 +442,17 @@ func (s *Server) v1Types(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rows, err := s.q.EntityTypeCounts(r.Context())
+	ctx, pr, err := readCtx(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+	rows, err := s.q.EntityTypeCounts(ctx)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeRead(w, pr, http.StatusOK, paginate(rows, limit, offset))
 }
 
 func (s *Server) v1Top(w http.ResponseWriter, r *http.Request) {
@@ -396,12 +461,17 @@ func (s *Server) v1Top(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rows, err := s.q.TopDiscussed(r.Context(), 0) // full ranking, then page
+	ctx, pr, err := readCtx(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+	rows, err := s.q.TopDiscussed(ctx, 0) // full ranking, then page
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeRead(w, pr, http.StatusOK, paginate(rows, limit, offset))
 }
 
 func (s *Server) v1Cheapest(w http.ResponseWriter, r *http.Request) {
@@ -410,12 +480,17 @@ func (s *Server) v1Cheapest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rows, err := s.q.CheapestShows(r.Context(), 0)
+	ctx, pr, err := readCtx(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeData(w, http.StatusOK, paginate(rows, limit, offset))
+	rows, err := s.q.CheapestShows(ctx, 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeRead(w, pr, http.StatusOK, paginate(rows, limit, offset))
 }
 
 func (s *Server) v1Find(w http.ResponseWriter, r *http.Request) {
@@ -429,7 +504,12 @@ func (s *Server) v1Find(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, dterr.New(dterr.CodeInvalidArgument, "missing q parameter"))
 		return
 	}
-	docs, err := s.q.FindEntities(r.Context(), q)
+	ctx, pr, err := readCtx(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	docs, err := s.q.FindEntities(ctx, q)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -438,7 +518,7 @@ func (s *Server) v1Find(w http.ResponseWriter, r *http.Request) {
 	for i, d := range docs {
 		out[i] = docMap(d)
 	}
-	writeData(w, http.StatusOK, paginate(out, limit, offset))
+	writeRead(w, pr, http.StatusOK, paginate(out, limit, offset))
 }
 
 // showView is the JSON rendering of the Table V / Table VI records.
@@ -453,9 +533,14 @@ func (s *Server) v1Show(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, dterr.New(dterr.CodeInvalidArgument, "missing name parameter"))
 		return
 	}
+	ctx, pr, err := readCtx(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	// One combined query: the web-text view is computed once and shared by
 	// both halves of the response instead of re-running the text search.
-	web, fused, err := s.q.QueryShow(r.Context(), name)
+	web, fused, err := s.q.QueryShow(ctx, name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -464,17 +549,24 @@ func (s *Server) v1Show(w http.ResponseWriter, r *http.Request) {
 	// existence check is independent of field counts, so a fused record
 	// that happens to add nothing beyond SHOW_NAME still counts as found.
 	if !web.Has("TEXT_FEED") {
-		inFused, err := s.q.ShowInFused(r.Context(), name)
+		inFused, err := s.q.ShowInFused(ctx, name)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
 		if !inFused {
+			// A 404 computed while text shards were unreachable is
+			// advisory, not authoritative: flag it so callers can retry
+			// rather than conclude the show does not exist.
+			if n := pr.Missing(); n > 0 {
+				w.Header().Set(degradedHeader, "shards_missing="+strconv.Itoa(n))
+				w.Header().Set("Cache-Control", "no-store")
+			}
 			writeErr(w, dterr.Newf(dterr.CodeNotFound, "show %q not found in web text or fused sources", name))
 			return
 		}
 	}
-	writeData(w, http.StatusOK, showView{WebText: recordMap(web), Fused: recordMap(fused)})
+	writeRead(w, pr, http.StatusOK, showView{WebText: recordMap(web), Fused: recordMap(fused)})
 }
 
 // ---- /v1 write handlers ------------------------------------------------

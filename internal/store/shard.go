@@ -314,10 +314,15 @@ func (s *Sharded) Find(filter Filter) []*Doc {
 }
 
 // FindCtx is Find with context propagation and remote-failure reporting.
+// Under WithPartialReads, unreachable shards are recorded and skipped
+// instead of failing the query.
 func (s *Sharded) FindCtx(ctx context.Context, filter Filter) ([]*Doc, error) {
 	parts := make([][]*Doc, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		docs, err := b.Find(ctx, filter)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		parts[i] = docs
 		return err
 	})
@@ -349,6 +354,9 @@ func (s *Sharded) CountCtx(ctx context.Context) (int64, error) {
 	counts := make([]int64, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		c, err := b.Count(ctx)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		counts[i] = c
 		return err
 	})
@@ -375,6 +383,9 @@ func (s *Sharded) CountWhereCtx(ctx context.Context, filter Filter) (int64, erro
 	counts := make([]int64, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		c, err := b.CountWhere(ctx, filter)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		counts[i] = c
 		return err
 	})
@@ -405,6 +416,9 @@ func (s *Sharded) ScanCtx(ctx context.Context, fn func(shard int, id int64, d *D
 	snaps := make([]snap, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		ids, docs, err := b.Snapshot(ctx)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		snaps[i] = snap{ids: ids, docs: docs}
 		return err
 	})
@@ -434,6 +448,9 @@ func (s *Sharded) DistinctCtx(ctx context.Context, path string) (map[string]int6
 	parts := make([]map[string]int64, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		m, err := b.Distinct(ctx, path)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		parts[i] = m
 		return err
 	})
@@ -464,6 +481,9 @@ func (s *Sharded) StatsCtx(ctx context.Context) (Stats, error) {
 	parts := make([]Stats, len(s.backends))
 	err := s.fanOut(func(i int, b ShardBackend) error {
 		st, err := b.Stats(ctx)
+		if AbsorbShardError(ctx, s.ns, i, err) {
+			return nil
+		}
 		parts[i] = st
 		return err
 	})
